@@ -1,0 +1,32 @@
+"""E10 — Section 4 open problem: span of butterfly / de Bruijn / S-E.
+
+The paper conjectures these families have span O(1).  We provide the
+experimental companion: sampled span ratios across a size step per family.
+Flat maxima (no growth with n) are consistent with the conjecture; the mesh
+rows calibrate the method against the known ≤ 2 bound.
+"""
+
+from repro.core.experiments import experiment_e10_open_problem_span
+
+
+def test_bench_e10_open_problem_span(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e10_open_problem_span(seed=0, n_samples=30),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        "e10_open_problem_span",
+        rows,
+        title="E10 (§4 open problem): sampled span of butterfly/deBruijn/S-E",
+    )
+    # sampled spans bounded by a small constant for every family
+    assert all(r["span_max"] <= 4.0 for r in rows)
+    # no blow-up across the size step within any family
+    by_family = {}
+    for r in rows:
+        by_family.setdefault(r["family"], []).append(r["span_max"])
+    for family, maxima in by_family.items():
+        assert max(maxima) <= 2.0 * min(maxima) + 1.0, (
+            f"span grew sharply with size for {family} — inconsistent with O(1)"
+        )

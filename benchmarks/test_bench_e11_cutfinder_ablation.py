@@ -1,0 +1,29 @@
+"""E11 — ablation of the Prune cut-search strategy (DESIGN.md §2).
+
+Checks the substitution claim the reproduction rests on: heuristic search
+(sweep ± refinement) only *under-culls* relative to exhaustive ground truth
+— |H| from a heuristic run is never smaller than the exact run's on
+identical fault sets — so the Theorem 2.1 size guarantee transfers.
+"""
+
+from repro.core.experiments import experiment_e11_cutfinder_ablation
+
+
+def test_bench_e11_cutfinder_ablation(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e11_cutfinder_ablation(seed=0, n_trials=5),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        "e11_cutfinder_ablation",
+        rows,
+        title="E11 (ablation): cut-finder strategies on identical fault sets",
+    )
+    small = {r["finder"]: r for r in rows if r["graph"] == "torus-4x4"}
+    # heuristics never cull more than exhaustive ground truth
+    assert small["sweep+refine"]["mean_H"] >= small["exhaustive"]["mean_H"] - 1e-9
+    assert small["sweep"]["mean_H"] >= small["exhaustive"]["mean_H"] - 1e-9
+    big = {r["finder"]: r for r in rows if r["graph"] != "torus-4x4"}
+    # refinement can only move the heuristic toward ground truth (cull more)
+    assert big["sweep+refine"]["mean_H"] <= big["sweep"]["mean_H"] + 1e-9

@@ -1,0 +1,21 @@
+"""E1 — Theorem 2.1: Prune under adversarial faults (paper §2).
+
+Regenerates the theorem's two guarantees across graphs, k, and fault
+budgets: ``|H| ≥ n − k·f/α`` and ``α(H) ≥ (1 − 1/k)·α``.
+"""
+
+from repro.core.experiments import experiment_e1_adversarial_prune
+
+
+def test_bench_e1_adversarial_prune(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e1_adversarial_prune(seed=0), rounds=1, iterations=1
+    )
+    report_table(
+        "e1_adversarial_prune",
+        rows,
+        title="E1 (Theorem 2.1): Prune guarantees under adversarial faults",
+    )
+    assert rows, "experiment produced no rows"
+    assert all(r["size_ok"] for r in rows), "size guarantee |H| >= n - k f/alpha failed"
+    assert all(r["alpha_ok"] for r in rows), "expansion guarantee (1-1/k)alpha failed"

@@ -1,0 +1,21 @@
+"""E2 — Claim 2.4: chain-replacement graphs have expansion Θ(1/k).
+
+The regenerated series shows α(H(G,k))·k staying within a constant band
+while k quadruples, and α below the claim's 2/k witness bound.
+"""
+
+from repro.core.experiments import experiment_e2_chain_expansion
+
+
+def test_bench_e2_chain_expansion(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e2_chain_expansion(seed=0), rounds=1, iterations=1
+    )
+    report_table(
+        "e2_chain_expansion",
+        rows,
+        title="E2 (Claim 2.4): chain-replacement expansion is Θ(1/k)",
+    )
+    assert all(r["upper_ok"] for r in rows)
+    products = [r["alpha_times_k"] for r in rows]
+    assert max(products) <= 4 * min(products), "alpha*k not flat: not Θ(1/k)"

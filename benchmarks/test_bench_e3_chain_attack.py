@@ -1,0 +1,25 @@
+"""E3 — Theorem 2.3: Θ(α·N) adversarial faults shatter chain graphs.
+
+Removing one centre per chain (m = δ·n/2 faults, a Θ(α) fraction of N)
+leaves only components below the paper's δ·k/2 + O(1) bound; the largest
+fraction shrinks along the family — the definition of 'sublinear pieces'.
+"""
+
+from repro.core.experiments import experiment_e3_chain_attack
+
+
+def test_bench_e3_chain_attack(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e3_chain_attack(seed=0), rounds=1, iterations=1
+    )
+    report_table(
+        "e3_chain_attack",
+        rows,
+        title="E3 (Theorem 2.3): chain-centre attack shatters H(G,k)",
+    )
+    assert all(r["bound_ok"] for r in rows)
+    for k in (4, 8):
+        series = [r["largest_frac"] for r in rows if r["k"] == k]
+        assert series == sorted(series, reverse=True), (
+            f"largest-component fraction not shrinking along the k={k} family"
+        )

@@ -1,0 +1,22 @@
+"""E4 — Theorem 2.5: shattering uniform-expansion graphs.
+
+The recursive-bisection process breaks tori into < ε·n pieces with a fault
+count under the O(log(1/ε)/ε·α(n)·n) bound; the geometric axis attack gives
+the well-tuned comparison point.
+"""
+
+from repro.core.experiments import experiment_e4_uniform_attack
+
+
+def test_bench_e4_uniform_attack(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e4_uniform_attack(seed=0), rounds=1, iterations=1
+    )
+    report_table(
+        "e4_uniform_attack",
+        rows,
+        title="E4 (Theorem 2.5): shattering uniform-expansion tori",
+    )
+    assert all(r["generic_ok"] for r in rows), "generic attack exceeded theorem bound"
+    assert all(r["generic_largest_frac"] <= r["eps"] + 0.01 for r in rows)
+    assert all(r["axis_largest_frac"] <= r["eps"] + 0.01 for r in rows)

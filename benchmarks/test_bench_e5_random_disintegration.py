@@ -1,0 +1,31 @@
+"""E5 — Theorem 3.1 / §3.1: random faults at p = Θ(α).
+
+The paper's headline contrast: chain graphs disintegrate at a small constant
+multiple of their expansion, while the torus — whose expansion is *much*
+smaller than its real fault tolerance — survives the same relative budget.
+Expansion alone is a weak predictor under random faults.
+"""
+
+from repro.core.experiments import experiment_e5_random_disintegration
+
+
+def test_bench_e5_random_disintegration(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e5_random_disintegration(seed=0, n_trials=10),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        "e5_random_disintegration",
+        rows,
+        title="E5 (Theorem 3.1): γ vs p/α — chain graph dies, torus survives",
+    )
+    chain4 = [r for r in rows if r["graph"].startswith("chain") and r["p_over_alpha"] == 4.0]
+    torus1 = [r for r in rows if r["graph"].startswith("torus") and r["p_over_alpha"] == 1.0]
+    assert chain4 and torus1
+    assert chain4[0]["gamma_mean"] < 0.35, "chain graph failed to disintegrate at 4α"
+    assert torus1[0]["gamma_mean"] > 0.6, "torus unexpectedly collapsed at p = α"
+    # monotone decay in p for each graph
+    for label in {r["graph"] for r in rows}:
+        series = [r["gamma_mean"] for r in rows if r["graph"] == label]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,29 @@
+"""E6 — Theorem 3.4: Prune2's guarantee vs random-fault probability.
+
+Success = |H| ≥ n/2 and αe(H) ≥ ε·αe.  The theory threshold 1/(2e·δ^{4σ})
+must sit (far) below the empirical one — the paper itself calls the span
+dependency loose (Section 4).
+"""
+
+from repro.core.experiments import experiment_e6_prune2_threshold
+
+
+def test_bench_e6_prune2_threshold(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e6_prune2_threshold(seed=0, n_trials=5),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        "e6_prune2_threshold",
+        rows,
+        title="E6 (Theorem 3.4): Prune2 success rate vs fault probability",
+    )
+    at_theory = [r for r in rows if r["p_fault"] <= r["theory_p_max"] * 1.5]
+    assert at_theory and all(r["success_rate"] == 1.0 for r in at_theory), (
+        "guarantee must hold at the theory probability"
+    )
+    heavy = [r for r in rows if r["p_fault"] >= 0.5]
+    assert heavy and all(r["success_rate"] < 1.0 for r in heavy), (
+        "expected failures past the percolation threshold"
+    )

@@ -1,0 +1,24 @@
+"""E7 — Theorem 3.6 / Lemma 3.7: the d-dimensional mesh has span ≤ 2.
+
+Exact spans by compact-set enumeration on small meshes; the constructive
+virtual-edge tree ratio on sampled compact sets of large meshes (2-D to
+4-D); Lemma 3.7's virtual-graph connectivity verified on every sample.
+"""
+
+from repro.core.experiments import experiment_e7_mesh_span
+
+
+def test_bench_e7_mesh_span(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e7_mesh_span(seed=0, n_samples=40), rounds=1, iterations=1
+    )
+    report_table(
+        "e7_mesh_span",
+        rows,
+        title="E7 (Theorem 3.6): mesh span ≤ 2, exact + constructive",
+    )
+    assert all(r["ok"] for r in rows), "a span ratio exceeded 2"
+    assert all(r["virtual_connected_rate"] == 1.0 for r in rows), (
+        "Lemma 3.7 connectivity failed on a sample"
+    )
+    assert all(r["span"] >= 1.0 for r in rows if r["method"] == "exact-enumeration")

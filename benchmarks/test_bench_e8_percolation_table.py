@@ -1,0 +1,31 @@
+"""E8 — Section 1.1 survey: critical probabilities, measured vs literature.
+
+Regenerates the paper's background table (Erdős–Rényi, Kesten, AKS,
+Karlin–Nelson–Tamaki rows) with Monte-Carlo threshold bracketing.  Exact
+asymptotic agreement is impossible at finite sizes; the check pins the
+*ordering* and coarse magnitudes the paper's narrative relies on.
+"""
+
+from repro.core.experiments import experiment_e8_percolation_table
+
+
+def test_bench_e8_percolation_table(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e8_percolation_table(seed=0, n_trials=10, tol=0.02),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        "e8_percolation_table",
+        rows,
+        title="E8 (§1.1 survey): critical probabilities, literature vs measured",
+    )
+    by_family = {r["family"]: r["measured_p*"] for r in rows}
+    # ordering of thresholds matches the survey
+    assert by_family["complete graph K_n"] < by_family["hypercube Q_d"]
+    assert by_family["hypercube Q_d"] < by_family["random graph, d·n/2 edges"]
+    assert by_family["random graph, d·n/2 edges"] < by_family["2-D mesh (n×n)"]
+    # coarse magnitudes
+    assert by_family["complete graph K_n"] < 0.06
+    assert 0.35 < by_family["2-D mesh (n×n)"] < 0.6
+    assert 0.25 < by_family["butterfly"] < 0.65

@@ -1,0 +1,29 @@
+"""E9 — Section 4: routing and load-balancing consequences of pruning.
+
+After random faults + Prune, the surviving component keeps (a) pairwise
+stretch far below the O(α⁻¹·log n) distance bound and (b) diffusion
+load-balancing speed within a small factor of the fault-free network —
+the two §1.3 applications that motivate preserving expansion.
+"""
+
+from repro.core.experiments import experiment_e9_routing
+
+
+def test_bench_e9_routing_stretch(benchmark, report_table):
+    rows = benchmark.pedantic(
+        lambda: experiment_e9_routing(seed=0), rounds=1, iterations=1
+    )
+    report_table(
+        "e9_routing_stretch",
+        rows,
+        title="E9 (§4): stretch and load balancing after faults + pruning",
+    )
+    assert rows
+    for r in rows:
+        assert r["stretch_max"] <= r["dist_bound_O(a^-1 logn)"], (
+            "stretch exceeded the expansion-distance bound"
+        )
+        assert r["diffusion_rounds_H"] <= 6 * max(r["diffusion_rounds_base"], 1), (
+            "pruned network balances load much slower than baseline"
+        )
+        assert r["survivor_frac"] > 0.5

@@ -1,0 +1,67 @@
+"""repro — reproduction of "The Effect of Faults on Network Expansion" (SPAA 2004).
+
+Public API re-exports live here; subpackages remain importable directly for
+power users.  See README.md for the architecture overview and DESIGN.md for
+the experiment index.
+"""
+
+from . import (
+    core,
+    embedding,
+    expansion,
+    faults,
+    graphs,
+    percolation,
+    pruning,
+    routing,
+    span,
+    spectral,
+    util,
+)
+from .core import FaultExpansionAnalyzer, FaultToleranceReport
+from .errors import (
+    BudgetExceededError,
+    InvalidGraphError,
+    InvalidParameterError,
+    NotConnectedError,
+    ReproError,
+    SolverError,
+)
+from .expansion import estimate_edge_expansion, estimate_node_expansion
+from .faults import random_node_faults
+from .graphs import Graph
+from .pruning import prune, prune2
+from .span import span_exact, span_sampled
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "FaultExpansionAnalyzer",
+    "FaultToleranceReport",
+    "estimate_node_expansion",
+    "estimate_edge_expansion",
+    "random_node_faults",
+    "prune",
+    "prune2",
+    "span_exact",
+    "span_sampled",
+    "core",
+    "embedding",
+    "expansion",
+    "faults",
+    "graphs",
+    "percolation",
+    "pruning",
+    "routing",
+    "span",
+    "spectral",
+    "util",
+    "ReproError",
+    "InvalidGraphError",
+    "InvalidParameterError",
+    "NotConnectedError",
+    "SolverError",
+    "BudgetExceededError",
+    "__version__",
+]

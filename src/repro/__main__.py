@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro --list
+    python -m repro e1 e7
+    python -m repro all --seed 3 --scale 2
+
+Each experiment prints its table (the same rows the benchmark suite writes
+to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.experiments import ALL_EXPERIMENTS
+from .util.tables import format_row_dicts
+
+_DESCRIPTIONS = {
+    "e1": "Theorem 2.1 — Prune under adversarial faults",
+    "e2": "Claim 2.4 — chain-replacement expansion Θ(1/k)",
+    "e3": "Theorem 2.3 — chain-centre attack shatters H(G,k)",
+    "e4": "Theorem 2.5 — shattering uniform-expansion graphs",
+    "e5": "Theorem 3.1 — random faults at p = Θ(α)",
+    "e6": "Theorem 3.4 — Prune2 success threshold",
+    "e7": "Theorem 3.6 — mesh span ≤ 2",
+    "e8": "§1.1 survey — critical probabilities",
+    "e9": "§4 — routing / load-balancing consequences",
+    "e10": "§4 open problem — span of butterfly/deBruijn/S-E",
+    "e11": "ablation — cut-finder strategies",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from 'The Effect of Faults on "
+        "Network Expansion' (SPAA 2004).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e1..e11) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument("--scale", type=int, default=1, help="instance size multiplier")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for key in ALL_EXPERIMENTS:
+            print(f"{key:>4}  {_DESCRIPTIONS[key]}")
+        return 0
+
+    wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for key in wanted:
+        runner = ALL_EXPERIMENTS[key]
+        t0 = time.perf_counter()
+        rows = runner(seed=args.seed, scale=args.scale)
+        elapsed = time.perf_counter() - t0
+        print(
+            format_row_dicts(
+                rows, title=f"{key.upper()} — {_DESCRIPTIONS[key]} ({elapsed:.1f}s)"
+            )
+        )
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""High-level API: theory bounds, the analyzer facade, experiment runners."""
+
+from . import bounds, experiments
+from .analyzer import FaultExpansionAnalyzer
+from .report import FaultToleranceReport
+
+__all__ = [
+    "bounds",
+    "experiments",
+    "FaultExpansionAnalyzer",
+    "FaultToleranceReport",
+]

@@ -1,0 +1,83 @@
+"""Analysis reports: the structured results the analyzer facade returns.
+
+A :class:`FaultToleranceReport` bundles everything a user wants after
+"inject faults, prune, measure": the scenario, the pruned network, the
+component structure before/after, expansion estimates, and theory-bound
+comparisons.  ``render()`` produces the plain-text table used by the
+examples and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..expansion.estimate import ExpansionEstimate
+from ..faults.model import FaultScenario
+from ..graphs.traversal import ComponentSummary
+from ..pruning.prune import PruneResult
+from ..util.tables import fmt_float, format_table
+
+__all__ = ["FaultToleranceReport"]
+
+
+@dataclass(frozen=True)
+class FaultToleranceReport:
+    """Full digest of one fault-injection + pruning analysis."""
+
+    scenario: FaultScenario
+    baseline_expansion: ExpansionEstimate
+    faulty_components: ComponentSummary
+    prune_result: PruneResult
+    surviving_expansion: Optional[ExpansionEstimate]
+    epsilon: float
+
+    @property
+    def n_original(self) -> int:
+        return self.scenario.original.n
+
+    @property
+    def n_surviving(self) -> int:
+        return int(self.prune_result.surviving_local.shape[0])
+
+    @property
+    def surviving_fraction(self) -> float:
+        """``|H| / n`` relative to the fault-free network."""
+        return self.n_surviving / self.n_original if self.n_original else 0.0
+
+    @property
+    def expansion_retention(self) -> float:
+        """``α(H) / α(G)`` using the point estimates (nan when undefined)."""
+        if self.surviving_expansion is None or self.baseline_expansion.value <= 0:
+            return float("nan")
+        return self.surviving_expansion.value / self.baseline_expansion.value
+
+    def render(self) -> str:
+        """Multi-line plain-text report."""
+        rows = [
+            ["original nodes", self.n_original],
+            ["faults", self.scenario.f],
+            ["fault fraction", fmt_float(self.scenario.fault_fraction)],
+            ["fault kind", self.scenario.kind],
+            ["faulty components", self.faulty_components.n_components],
+            ["largest faulty component", self.faulty_components.largest_size],
+            ["pruned away", self.prune_result.n_culled],
+            ["surviving |H|", self.n_surviving],
+            ["surviving fraction", fmt_float(self.surviving_fraction)],
+            ["baseline expansion", fmt_float(self.baseline_expansion.value)],
+            [
+                "surviving expansion",
+                fmt_float(self.surviving_expansion.value)
+                if self.surviving_expansion is not None
+                else "n/a",
+            ],
+            ["expansion retention", fmt_float(self.expansion_retention)],
+            ["prune threshold", fmt_float(self.prune_result.threshold)],
+            ["prune iterations", self.prune_result.iterations],
+        ]
+        return format_table(
+            ["quantity", "value"], rows,
+            title=f"Fault-tolerance report — {self.scenario.original.name}",
+        )

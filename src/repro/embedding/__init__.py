@@ -1,0 +1,12 @@
+"""Embedding/emulation substrate (Section 1.2): load, congestion, dilation."""
+
+from .embed import EmbeddingMetrics, embed_with_bfs_paths, identity_embedding_metrics
+from .remap import emulate_after_faults, nearest_survivor_mapping
+
+__all__ = [
+    "EmbeddingMetrics",
+    "embed_with_bfs_paths",
+    "identity_embedding_metrics",
+    "nearest_survivor_mapping",
+    "emulate_after_faults",
+]

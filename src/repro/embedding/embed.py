@@ -1,0 +1,113 @@
+"""Static graph embeddings with load / congestion / dilation accounting.
+
+Section 1.2 of the paper frames the emulation question through embeddings:
+map guest nodes to host nodes and guest edges to host paths; by
+Leighton–Maggs–Rao the host then emulates each guest step with slowdown
+``O(ℓ + c + d)`` where ℓ is the maximum load, c the maximum edge congestion
+and d the maximum path length (dilation).
+
+This module measures those three quantities for any given mapping, with
+paths realised as BFS shortest paths in the host.  It is the substrate for
+the E9-style "faulty network still emulates its ideal self" checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError, NotConnectedError
+from ..graphs.graph import Graph
+from ..graphs.traversal import bfs_tree
+
+__all__ = ["EmbeddingMetrics", "embed_with_bfs_paths", "identity_embedding_metrics"]
+
+
+@dataclass(frozen=True)
+class EmbeddingMetrics:
+    """Load / congestion / dilation of one embedding."""
+
+    load: int
+    congestion: int
+    dilation: int
+    n_guest_nodes: int
+    n_guest_edges: int
+
+    @property
+    def slowdown_bound(self) -> int:
+        """Leighton–Maggs–Rao style additive slowdown ``ℓ + c + d``."""
+        return self.load + self.congestion + self.dilation
+
+
+def embed_with_bfs_paths(
+    guest: Graph,
+    host: Graph,
+    mapping: np.ndarray,
+) -> EmbeddingMetrics:
+    """Score the embedding that maps guest node ``i`` to ``mapping[i]`` and
+    each guest edge to a host BFS shortest path.
+
+    Paths are taken from per-source BFS trees (grouped by source for
+    efficiency); congestion counts undirected host-edge usages.
+
+    Raises
+    ------
+    NotConnectedError
+        If some guest edge's endpoints are disconnected in the host.
+    """
+    mapping = np.asarray(mapping, dtype=np.int64)
+    if mapping.shape != (guest.n,):
+        raise InvalidParameterError(
+            f"mapping must have shape ({guest.n},), got {mapping.shape}"
+        )
+    if mapping.size and (mapping.min() < 0 or mapping.max() >= host.n):
+        raise InvalidParameterError("mapping targets outside host")
+    load = int(np.bincount(mapping, minlength=host.n).max()) if mapping.size else 0
+    edges = guest.edge_array()
+    if edges.size == 0:
+        return EmbeddingMetrics(load, 0, 0, guest.n, 0)
+    hosts_u = mapping[edges[:, 0]]
+    hosts_v = mapping[edges[:, 1]]
+    # group by source host node so each distinct source costs one BFS tree
+    order = np.argsort(hosts_u, kind="stable")
+    hosts_u, hosts_v = hosts_u[order], hosts_v[order]
+    congestion: Dict[Tuple[int, int], int] = {}
+    dilation = 0
+    i = 0
+    while i < hosts_u.shape[0]:
+        src = int(hosts_u[i])
+        j = i
+        parent = bfs_tree(host, src)
+        while j < hosts_u.shape[0] and hosts_u[j] == src:
+            dst = int(hosts_v[j])
+            if dst != src:
+                if parent[dst] < 0:
+                    raise NotConnectedError(
+                        f"guest edge maps to disconnected host pair ({src}, {dst})"
+                    )
+                length = 0
+                v = dst
+                while v != src:
+                    p = int(parent[v])
+                    key = (min(v, p), max(v, p))
+                    congestion[key] = congestion.get(key, 0) + 1
+                    v = p
+                    length += 1
+                dilation = max(dilation, length)
+            j += 1
+        i = j
+    max_congestion = max(congestion.values()) if congestion else 0
+    return EmbeddingMetrics(
+        load=load,
+        congestion=max_congestion,
+        dilation=dilation,
+        n_guest_nodes=guest.n,
+        n_guest_edges=int(edges.shape[0]),
+    )
+
+
+def identity_embedding_metrics(graph: Graph) -> EmbeddingMetrics:
+    """The trivial self-embedding (sanity baseline: ℓ = 1, c = 1, d = 1)."""
+    return embed_with_bfs_paths(graph, graph, np.arange(graph.n, dtype=np.int64))

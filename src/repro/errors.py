@@ -1,0 +1,47 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single type at API boundaries.  Subclasses distinguish input
+validation failures from algorithmic failures (e.g. a solver not converging),
+which callers may want to handle differently: the former indicate caller bugs,
+the latter may warrant a retry with different parameters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidGraphError",
+    "InvalidParameterError",
+    "NotConnectedError",
+    "SolverError",
+    "BudgetExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class InvalidGraphError(ReproError, ValueError):
+    """A graph input violates a structural requirement.
+
+    Raised e.g. for self loops in edge lists, inconsistent CSR arrays,
+    or operations applied to an empty graph.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A scalar/array parameter is outside its documented domain."""
+
+
+class NotConnectedError(ReproError, ValueError):
+    """An operation required a connected graph but the input was not."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A numerical routine (eigensolver, optimiser) failed to converge."""
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """An iterative procedure exceeded its configured iteration budget."""

@@ -1,0 +1,45 @@
+"""Expansion measurement: exact enumeration, sweep cuts, refinement, profiles."""
+
+from .estimate import (
+    DEFAULT_EXACT_THRESHOLD,
+    ExpansionEstimate,
+    estimate_edge_expansion,
+    estimate_node_expansion,
+)
+from .exact import (
+    EXACT_MAX_NODES,
+    ExactExpansionResult,
+    edge_expansion_exact,
+    node_expansion_exact,
+)
+from .local import refine_cut
+from .profiles import ExpansionProfile, bfs_ball, expansion_profile
+from .sweep import (
+    SweepCut,
+    best_edge_sweep_cut,
+    best_node_sweep_cut,
+    fiedler_order,
+    sweep_cuts_edge,
+    sweep_cuts_node,
+)
+
+__all__ = [
+    "ExpansionEstimate",
+    "estimate_node_expansion",
+    "estimate_edge_expansion",
+    "DEFAULT_EXACT_THRESHOLD",
+    "ExactExpansionResult",
+    "node_expansion_exact",
+    "edge_expansion_exact",
+    "EXACT_MAX_NODES",
+    "refine_cut",
+    "SweepCut",
+    "sweep_cuts_node",
+    "sweep_cuts_edge",
+    "best_node_sweep_cut",
+    "best_edge_sweep_cut",
+    "fiedler_order",
+    "ExpansionProfile",
+    "expansion_profile",
+    "bfs_ball",
+]

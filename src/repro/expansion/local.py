@@ -1,0 +1,104 @@
+"""Greedy local refinement of candidate cuts.
+
+Sweep cuts are good but threshold-shaped; a few greedy vertex moves usually
+shave the ratio further, especially on mesh-like graphs where the optimal
+separator is axis-aligned but the Fiedler vector is smooth.  The refiner
+repeatedly tries single-vertex moves (add a boundary vertex to S, or drop an
+S-vertex adjacent to the outside) and keeps any move that strictly lowers the
+scored ratio, up to a move budget.  Complexity: each move recomputes the
+boundary with one vectorised gather, so a full refinement is
+O(moves · (deg work)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..graphs.ops import (
+    edge_boundary_count,
+    node_boundary,
+    node_boundary_size,
+)
+
+__all__ = ["refine_cut"]
+
+Kind = Literal["node", "edge"]
+
+
+def _ratio(graph: Graph, mask: np.ndarray, kind: Kind) -> float:
+    size = int(mask.sum())
+    if size == 0 or size > graph.n // 2:
+        return float("inf")
+    if kind == "node":
+        return node_boundary_size(graph, mask) / size
+    return edge_boundary_count(graph, mask) / min(size, graph.n - size)
+
+
+def refine_cut(
+    graph: Graph,
+    seed_set: np.ndarray,
+    kind: Kind = "node",
+    *,
+    max_moves: int | None = None,
+) -> np.ndarray:
+    """Greedily improve a cut's expansion ratio by single-vertex moves.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    seed_set:
+        Initial set ``S`` (ids or boolean mask); must be non-empty with
+        ``|S| ≤ n/2``.
+    kind:
+        Which ratio to minimise: ``"node"`` (``|Γ(S)|/|S|``) or ``"edge"``
+        (``cut/min(|S|,|V\\S|)``).
+    max_moves:
+        Move budget; defaults to ``2·n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted ids of the refined set (never worse than the seed).
+    """
+    if kind not in ("node", "edge"):
+        raise InvalidParameterError(f"kind must be node/edge, got {kind}")
+    n = graph.n
+    mask = np.zeros(n, dtype=bool)
+    seed = np.asarray(seed_set)
+    if seed.dtype == bool:
+        mask |= seed
+    else:
+        mask[np.asarray(seed, dtype=np.int64)] = True
+    if not mask.any():
+        raise InvalidParameterError("seed set must be non-empty")
+    budget = 2 * n if max_moves is None else int(max_moves)
+    best = _ratio(graph, mask, kind)
+    moves = 0
+    improved = True
+    while improved and moves < budget:
+        improved = False
+        # candidate additions: outside nodes adjacent to S
+        frontier_out = node_boundary(graph, mask)
+        # candidate removals: S nodes adjacent to outside
+        inv = ~mask
+        frontier_in = node_boundary(graph, inv)
+        candidates = [(v, True) for v in frontier_out.tolist()] + [
+            (v, False) for v in frontier_in.tolist()
+        ]
+        for v, add in candidates:
+            if moves >= budget:
+                break
+            mask[v] = add
+            val = _ratio(graph, mask, kind)
+            if val < best:
+                best = val
+                moves += 1
+                improved = True
+            else:
+                mask[v] = not add
+    return np.flatnonzero(mask)

@@ -1,0 +1,133 @@
+"""Uniform-expansion profiles.
+
+The paper's Theorem 2.5 applies to graphs of *uniform expansion* ``α(·)``:
+``G`` has expansion ``α(n)`` and every size-``m`` subgraph has expansion
+``O(α(m))`` ("this is the case for all well-known classes of graphs", §2).
+This module measures that empirically: it samples connected subgraphs across
+a range of sizes (BFS balls around random seeds — the natural sub-networks of
+a mesh-like graph), estimates each sample's expansion, and fits a power law
+``α(m) ≈ c·m^e`` by least squares on the log-log cloud.  For the 2-D mesh the
+fitted exponent should be ≈ −1/2; the uniformity *check* asserts no sampled
+subgraph beats the fitted envelope by more than a constant factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph, neighbors_of_many
+from ..util.rng import SeedLike, as_generator
+from .estimate import estimate_node_expansion
+
+__all__ = ["ExpansionProfile", "expansion_profile", "bfs_ball"]
+
+
+def bfs_ball(graph: Graph, center: int, target_size: int) -> np.ndarray:
+    """Connected node set of ~``target_size`` grown by BFS from ``center``.
+
+    The last BFS level is truncated (lowest ids first) to hit the target
+    exactly whenever the component is large enough.
+    """
+    if not 0 <= center < graph.n:
+        raise InvalidParameterError(f"center {center} outside [0, {graph.n})")
+    if target_size < 1:
+        raise InvalidParameterError("target_size must be >= 1")
+    seen = np.zeros(graph.n, dtype=bool)
+    seen[center] = True
+    members = [np.array([center], dtype=np.int64)]
+    count = 1
+    frontier = members[0]
+    while count < target_size and frontier.size:
+        nbrs = neighbors_of_many(graph, frontier)
+        fresh = np.unique(nbrs[~seen[nbrs]])
+        if fresh.size == 0:
+            break
+        take = min(fresh.size, target_size - count)
+        chosen = fresh[:take]
+        seen[chosen] = True
+        members.append(chosen)
+        count += take
+        frontier = chosen if take == fresh.size else fresh[:take]
+    return np.sort(np.concatenate(members))
+
+
+@dataclass(frozen=True)
+class ExpansionProfile:
+    """Sampled (size, expansion) cloud and its power-law fit."""
+
+    sizes: np.ndarray
+    expansions: np.ndarray
+    exponent: float
+    coefficient: float
+
+    def predicted(self, m: np.ndarray | float) -> np.ndarray | float:
+        """Fitted ``α(m) = c · m^e``."""
+        return self.coefficient * np.asarray(m, dtype=np.float64) ** self.exponent
+
+    def is_uniform(self, slack: float = 8.0) -> bool:
+        """Whether every sample lies within ``slack×`` of the fitted curve —
+        the empirical counterpart of the O(α(m)) uniformity condition."""
+        pred = self.predicted(self.sizes)
+        good = self.expansions <= slack * pred
+        good &= self.expansions >= pred / slack
+        return bool(np.all(good))
+
+
+def expansion_profile(
+    graph: Graph,
+    *,
+    sizes: List[int] | None = None,
+    samples_per_size: int = 3,
+    seed: SeedLike = None,
+) -> ExpansionProfile:
+    """Sample subgraph expansions across scales and fit a power law.
+
+    Parameters
+    ----------
+    graph:
+        Connected host graph.
+    sizes:
+        Subgraph sizes to sample; defaults to a geometric ladder from 8 to
+        ``n/2``.
+    samples_per_size:
+        BFS balls per size (different random centers).
+    seed:
+        RNG spec.
+    """
+    rng = as_generator(seed)
+    n = graph.n
+    if n < 16:
+        raise InvalidParameterError("profile needs at least 16 nodes")
+    if sizes is None:
+        ladder = []
+        s = 8
+        while s <= n // 2:
+            ladder.append(s)
+            s *= 2
+        sizes = ladder or [n // 2]
+    out_sizes, out_alpha = [], []
+    for target in sizes:
+        for _ in range(samples_per_size):
+            center = int(rng.integers(n))
+            ball = bfs_ball(graph, center, int(target))
+            if ball.size < 2:
+                continue
+            sub = graph.subgraph(ball)
+            est = estimate_node_expansion(sub)
+            out_sizes.append(sub.n)
+            out_alpha.append(max(est.value, 1e-12))
+    sizes_arr = np.asarray(out_sizes, dtype=np.float64)
+    alpha_arr = np.asarray(out_alpha, dtype=np.float64)
+    logm = np.log(sizes_arr)
+    loga = np.log(alpha_arr)
+    slope, intercept = np.polyfit(logm, loga, 1)
+    return ExpansionProfile(
+        sizes=sizes_arr,
+        expansions=alpha_arr,
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+    )

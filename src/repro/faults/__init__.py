@@ -1,0 +1,27 @@
+"""Fault models: random (Section 3) and adversarial (Section 2) node faults."""
+
+from .adversary import (
+    degree_attack,
+    greedy_boundary_attack,
+    random_attack,
+    separator_attack,
+)
+from .attacks_chain import chain_center_attack
+from .attacks_mesh import axis_cut_attack, recursive_bisection_attack
+from .model import FaultScenario, apply_node_faults
+from .random_faults import random_edge_faults, random_node_faults, sample_fault_mask
+
+__all__ = [
+    "FaultScenario",
+    "apply_node_faults",
+    "random_node_faults",
+    "random_edge_faults",
+    "sample_fault_mask",
+    "separator_attack",
+    "greedy_boundary_attack",
+    "degree_attack",
+    "random_attack",
+    "chain_center_attack",
+    "recursive_bisection_attack",
+    "axis_cut_attack",
+]

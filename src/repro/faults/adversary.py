@@ -1,0 +1,152 @@
+"""Adversarial fault strategies — the Section 2 fault model.
+
+The paper's adversary is unconstrained; these strategies are the strongest
+practical attacks against expansion we can compute:
+
+* :func:`separator_attack` — spend the budget on node-boundary separators of
+  low-expansion cuts (found by sweep + refinement), recursing into the larger
+  remaining piece.  This is the generic "create bottlenecks" adversary the
+  proof of Theorem 2.1 defends against.
+* :func:`greedy_boundary_attack` — repeatedly delete the node whose removal
+  most shrinks the largest component (1-step lookahead over boundary
+  candidates); a strong baseline.
+* :func:`degree_attack` — classic highest-degree-first attack (baseline;
+  provably weak against regular graphs, included for contrast).
+* :func:`random_attack` — the random baseline, for adversarial-vs-random
+  comparisons at equal budgets.
+
+All attacks take a fault *budget* ``f`` and return a :class:`FaultScenario`
+with exactly ``min(f, n)`` faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..graphs.ops import node_boundary
+from ..graphs.traversal import connected_components, component_sizes
+from ..expansion.local import refine_cut
+from ..expansion.sweep import best_node_sweep_cut
+from ..util.rng import SeedLike, as_generator
+from ..util.validation import check_nonnegative_int
+from .model import FaultScenario, apply_node_faults
+
+__all__ = [
+    "separator_attack",
+    "greedy_boundary_attack",
+    "degree_attack",
+    "random_attack",
+]
+
+
+def _check_budget(graph: Graph, budget: int) -> int:
+    budget = check_nonnegative_int(budget, "budget")
+    return min(budget, graph.n)
+
+
+def separator_attack(graph: Graph, budget: int, *, min_piece: int = 4) -> FaultScenario:
+    """Recursive separator deletion.
+
+    At each step, find a low-node-expansion cut ``S`` of the current largest
+    component, delete ``Γ(S)`` (the separator), and recurse on the largest
+    remaining piece while budget remains.  Components smaller than
+    ``min_piece`` are never split further.
+    """
+    budget = _check_budget(graph, budget)
+    faulty: list[int] = []
+    alive = np.ones(graph.n, dtype=bool)
+    while len(faulty) < budget:
+        ids = np.flatnonzero(alive)
+        if ids.size < min_piece:
+            break
+        sub = graph.subgraph(ids)
+        labels = connected_components(sub)
+        sizes = component_sizes(labels)
+        big = int(np.argmax(sizes))
+        comp_local = np.flatnonzero(labels == big)
+        if comp_local.size < min_piece:
+            break
+        comp = sub.subgraph(comp_local)
+        try:
+            cut = best_node_sweep_cut(comp)
+        except Exception:
+            break
+        cut_nodes = refine_cut(comp, cut.nodes, "node")
+        separator_local = node_boundary(comp, cut_nodes)
+        if separator_local.size == 0:
+            break
+        room = budget - len(faulty)
+        separator_local = separator_local[:room]
+        # map back: comp ids -> sub ids -> graph ids
+        sub_ids = comp.original_ids[separator_local]
+        # comp.original_ids maps into *graph* already (composition through sub)
+        faulty.extend(int(v) for v in sub_ids)
+        alive[sub_ids] = False
+    fault_arr = np.array(sorted(set(faulty)), dtype=np.int64)
+    return apply_node_faults(graph, fault_arr, kind=f"adversary:separator(f={budget})")
+
+
+def greedy_boundary_attack(
+    graph: Graph, budget: int, *, candidate_pool: int = 32, seed: SeedLike = None
+) -> FaultScenario:
+    """1-step-lookahead attack on the largest component.
+
+    At each step, sample up to ``candidate_pool`` nodes from the largest
+    component's articulation-rich region (nodes adjacent to the component's
+    sweep-cut separator when available, otherwise random members), delete
+    the one that minimises the resulting largest-component size.
+    """
+    budget = _check_budget(graph, budget)
+    rng = as_generator(seed)
+    alive = np.ones(graph.n, dtype=bool)
+    faulty: list[int] = []
+    for _ in range(budget):
+        ids = np.flatnonzero(alive)
+        if ids.size == 0:
+            break
+        sub = graph.subgraph(ids)
+        labels = connected_components(sub)
+        sizes = component_sizes(labels)
+        big = int(np.argmax(sizes))
+        comp_local = np.flatnonzero(labels == big)
+        if comp_local.size <= 1:
+            # nothing meaningful left to attack; spend budget randomly
+            pick = int(ids[rng.integers(ids.size)])
+            faulty.append(pick)
+            alive[pick] = False
+            continue
+        pool_size = min(candidate_pool, comp_local.size)
+        pool_local = rng.choice(comp_local, size=pool_size, replace=False)
+        best_node = None
+        best_score = None
+        for v_local in pool_local.tolist():
+            keep = comp_local[comp_local != v_local]
+            piece = sub.subgraph(keep)
+            piece_labels = connected_components(piece)
+            score = int(component_sizes(piece_labels).max()) if piece.n else 0
+            if best_score is None or score < best_score:
+                best_score = score
+                best_node = v_local
+        pick = int(sub.original_ids[best_node])
+        faulty.append(pick)
+        alive[pick] = False
+    fault_arr = np.array(sorted(set(faulty)), dtype=np.int64)
+    return apply_node_faults(graph, fault_arr, kind=f"adversary:greedy(f={budget})")
+
+
+def degree_attack(graph: Graph, budget: int) -> FaultScenario:
+    """Delete the ``budget`` highest-degree nodes (ties by id)."""
+    budget = _check_budget(graph, budget)
+    order = np.lexsort((np.arange(graph.n), -graph.degrees))
+    faults = np.sort(order[:budget]).astype(np.int64)
+    return apply_node_faults(graph, faults, kind=f"adversary:degree(f={budget})")
+
+
+def random_attack(graph: Graph, budget: int, seed: SeedLike = None) -> FaultScenario:
+    """Uniform random faults at a fixed budget (the fair baseline)."""
+    budget = _check_budget(graph, budget)
+    rng = as_generator(seed)
+    faults = np.sort(rng.choice(graph.n, size=budget, replace=False)).astype(np.int64)
+    return apply_node_faults(graph, faults, kind=f"random-budget(f={budget})")

@@ -1,0 +1,66 @@
+"""The chain-centre attack of Theorem 2.3.
+
+On the chain-replacement graph ``H(G, k)`` (see
+:mod:`repro.graphs.generators.chains`) the paper's adversary removes the
+central node of every chain: ``m = δ·n/2`` faults, which is a
+``Θ(1/k) = Θ(α(H))`` fraction of ``H``'s nodes, and every surviving
+component has at most ``δ·k/2 + O(1)`` nodes — sublinear in ``N``.
+
+:func:`chain_center_attack` implements exactly this; a partial-budget variant
+removes centres of a random subset of chains, which is what the E3 sweep uses
+to trace the disintegration curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.generators.chains import ChainReplacement
+from ..util.rng import SeedLike, as_generator
+from .model import FaultScenario, apply_node_faults
+
+__all__ = ["chain_center_attack"]
+
+
+def chain_center_attack(
+    chain: ChainReplacement,
+    *,
+    fraction: float = 1.0,
+    seed: SeedLike = None,
+) -> FaultScenario:
+    """Remove the centre node of (a fraction of) every chain in ``H(G, k)``.
+
+    Parameters
+    ----------
+    chain:
+        The chain-replacement record (graph + chain bookkeeping).
+    fraction:
+        Fraction of chains whose centre is removed, in ``[0, 1]``.  At 1.0
+        this is the exact Theorem 2.3 attack; smaller values interpolate for
+        sweep plots.
+    seed:
+        RNG spec (only used when ``fraction < 1``).
+
+    Returns
+    -------
+    FaultScenario
+        Faults are centre nodes only; ``kind`` records the fraction.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParameterError(f"fraction must be in [0, 1], got {fraction}")
+    centers = chain.center_nodes
+    m = centers.shape[0]
+    count = int(round(fraction * m))
+    if count >= m:
+        chosen = centers
+    elif count == 0:
+        chosen = np.empty(0, dtype=np.int64)
+    else:
+        rng = as_generator(seed)
+        chosen = rng.choice(centers, size=count, replace=False)
+    return apply_node_faults(
+        chain.graph,
+        np.sort(chosen),
+        kind=f"adversary:chain-centers(fraction={fraction:g})",
+    )

@@ -1,0 +1,143 @@
+"""The recursive-bisection attack of Theorem 2.5.
+
+For a graph of uniform expansion ``α(·)``, the proof of Theorem 2.5 removes
+the node boundary ``Γ(U)`` of a minimum-expansion set in the current largest
+piece, replaces that piece by its two halves, and repeats until every piece
+has fewer than ``ε·n`` nodes.  The total number of removed nodes is
+``O(log(1/ε)/ε · α(n) · n)``.
+
+:func:`recursive_bisection_attack` implements the proof's process directly,
+with the minimum-expansion set found by sweep + refinement (exact enumeration
+for tiny pieces).  For axis-aligned families (meshes/tori) we also provide
+:func:`axis_cut_attack`, which removes coordinate hyperplanes — the natural
+optimal separator — so experiments can compare the generic process against
+the geometric one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..graphs.ops import node_boundary
+from ..graphs.traversal import connected_components, component_sizes
+from ..expansion.exact import node_expansion_exact
+from ..expansion.local import refine_cut
+from ..expansion.sweep import best_node_sweep_cut
+from .model import FaultScenario, apply_node_faults
+
+__all__ = ["recursive_bisection_attack", "axis_cut_attack"]
+
+
+def _min_expansion_set(piece: Graph) -> np.ndarray:
+    """Best-effort minimum node-expansion set of a connected piece (local ids)."""
+    if piece.n <= 12:
+        return node_expansion_exact(piece, max_nodes=12).witness
+    cut = best_node_sweep_cut(piece)
+    return refine_cut(piece, cut.nodes, "node")
+
+
+def recursive_bisection_attack(
+    graph: Graph, epsilon: float, *, max_rounds: int | None = None
+) -> FaultScenario:
+    """Run Theorem 2.5's shattering process until all pieces are ``< ε·n``.
+
+    Parameters
+    ----------
+    graph:
+        Connected graph of (presumed) uniform expansion.
+    epsilon:
+        Target piece-size fraction ``ε ∈ (0, 1)``; the process stops
+        splitting pieces smaller than ``ε·n``.
+    max_rounds:
+        Safety valve on the number of split operations (default ``4/ε``).
+
+    Returns
+    -------
+    FaultScenario
+        ``kind`` records ε; the fault count is what Theorem 2.5 bounds by
+        ``O(log(1/ε)/ε · α(n)·n)``.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    n = graph.n
+    threshold = max(2, int(np.ceil(epsilon * n)))
+    rounds_cap = max_rounds if max_rounds is not None else int(np.ceil(4.0 / epsilon)) + 8
+    faulty: List[int] = []
+    # max-heap of (−size, counter, node-id-array) over current pieces
+    labels = connected_components(graph)
+    sizes = component_sizes(labels)
+    heap: list = []
+    counter = 0
+    for lbl in range(sizes.shape[0]):
+        ids = np.flatnonzero(labels == lbl)
+        heapq.heappush(heap, (-ids.size, counter, ids))
+        counter += 1
+    rounds = 0
+    while heap and rounds < rounds_cap:
+        neg_size, _, ids = heapq.heappop(heap)
+        if -neg_size < threshold:
+            break  # largest piece already small enough: done
+        piece = graph.subgraph(ids)
+        local_set = _min_expansion_set(piece)
+        separator_local = node_boundary(piece, local_set)
+        if separator_local.size == 0:
+            # piece has a zero-expansion set => it is disconnected; requeue parts
+            sub_labels = connected_components(piece)
+            for lbl in range(int(sub_labels.max()) + 1):
+                part = piece.original_ids[np.flatnonzero(sub_labels == lbl)]
+                heapq.heappush(heap, (-part.size, counter, part))
+                counter += 1
+            rounds += 1
+            continue
+        separator = piece.original_ids[separator_local]
+        faulty.extend(int(v) for v in separator)
+        keep_mask = np.ones(piece.n, dtype=bool)
+        keep_mask[separator_local] = False
+        remaining = piece.subgraph(np.flatnonzero(keep_mask))
+        sub_labels = connected_components(remaining)
+        n_parts = int(sub_labels.max()) + 1 if remaining.n else 0
+        for lbl in range(n_parts):
+            part = remaining.original_ids[np.flatnonzero(sub_labels == lbl)]
+            heapq.heappush(heap, (-part.size, counter, part))
+            counter += 1
+        rounds += 1
+    fault_arr = np.array(sorted(set(faulty)), dtype=np.int64)
+    return apply_node_faults(
+        graph, fault_arr, kind=f"adversary:recursive-bisection(eps={epsilon:g})"
+    )
+
+
+def axis_cut_attack(graph: Graph, epsilon: float) -> FaultScenario:
+    """Geometric shattering of a mesh/torus into blocks of ``< ε·n`` nodes.
+
+    Requires :attr:`Graph.coords`; deletes evenly spaced coordinate
+    hyperplanes along every axis so the surviving blocks have at most
+    ``ε·n`` nodes.  This is the hand-crafted adversary that realises
+    Theorem 2.5's bound with good constants on meshes.
+    """
+    if graph.coords is None:
+        raise InvalidParameterError("axis_cut_attack requires coordinate metadata")
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    coords = graph.coords
+    d = coords.shape[1]
+    sides = coords.max(axis=0) + 1
+    # choose per-axis block length so prod(block) <= eps * n
+    block = np.maximum(1, np.floor(sides * epsilon ** (1.0 / d)).astype(np.int64))
+    fault_mask = np.zeros(graph.n, dtype=bool)
+    for axis in range(d):
+        period = int(block[axis]) + 1
+        col = coords[:, axis]
+        # cut every `period`-th hyperplane, plus the top face so the
+        # wrap-around seam of a torus is always severed
+        fault_mask |= (col % period == int(block[axis])) | (col == int(sides[axis]) - 1)
+    return apply_node_faults(
+        graph,
+        np.flatnonzero(fault_mask),
+        kind=f"adversary:axis-cuts(eps={epsilon:g})",
+    )

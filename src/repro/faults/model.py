@@ -1,0 +1,78 @@
+"""Fault scenario record: which nodes failed, and the surviving graph.
+
+The paper's model is *static node faults* (§1.3): a set of nodes breaks down,
+either at random or adversarially, and analysis proceeds on the induced
+surviving graph ``G_f``.  :class:`FaultScenario` bundles the fault set with
+both graphs and the provenance needed to translate surviving-node statements
+back to original ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..util.validation import check_node_array
+
+__all__ = ["FaultScenario", "apply_node_faults"]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A static node-fault event on a network.
+
+    Attributes
+    ----------
+    original:
+        The fault-free network ``G``.
+    surviving:
+        The faulty network ``G_f`` (induced subgraph on survivors; its
+        ``original_ids`` map back into ``original``).
+    faulty_nodes:
+        Sorted ids (in ``original``) of the failed nodes.
+    kind:
+        Provenance tag, e.g. ``"random(p=0.1)"`` or ``"adversary:bisection"``.
+    """
+
+    original: Graph
+    surviving: Graph
+    faulty_nodes: np.ndarray
+    kind: str = "unspecified"
+
+    @property
+    def f(self) -> int:
+        """Number of faults ``f``."""
+        return int(self.faulty_nodes.shape[0])
+
+    @property
+    def fault_fraction(self) -> float:
+        """``f / n`` relative to the original network."""
+        return self.f / self.original.n if self.original.n else 0.0
+
+    @property
+    def surviving_nodes(self) -> np.ndarray:
+        """Ids (in ``original``) of surviving nodes."""
+        mask = np.ones(self.original.n, dtype=bool)
+        mask[self.faulty_nodes] = False
+        return np.flatnonzero(mask)
+
+    def __post_init__(self) -> None:
+        if self.surviving.n + self.f != self.original.n:
+            raise InvalidParameterError(
+                "surviving graph size + fault count must equal original size"
+            )
+
+
+def apply_node_faults(
+    graph: Graph, faulty_nodes: np.ndarray, *, kind: str = "unspecified"
+) -> FaultScenario:
+    """Remove ``faulty_nodes`` from ``graph`` and package the scenario."""
+    faults = check_node_array(faulty_nodes, graph.n, "faulty_nodes")
+    surviving = graph.without_nodes(faults)
+    return FaultScenario(
+        original=graph, surviving=surviving, faulty_nodes=faults, kind=kind
+    )

@@ -1,0 +1,62 @@
+"""Random (i.i.d.) fault injection — the Section 3 fault model.
+
+Each node fails independently with probability ``p``; edge faults (used for
+bond-percolation cross-checks) kill each edge independently.  All functions
+are vectorised single Bernoulli draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..util.rng import SeedLike, as_generator
+from ..util.validation import check_probability
+from .model import FaultScenario, apply_node_faults
+
+__all__ = ["random_node_faults", "random_edge_faults", "sample_fault_mask"]
+
+
+def sample_fault_mask(
+    n: int, p: float, seed: SeedLike = None, *, protected: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Boolean fault mask: entry ``True`` means the node failed.
+
+    ``protected`` nodes never fail (used e.g. to keep BFS anchors alive in
+    routing experiments).
+    """
+    p = check_probability(p)
+    rng = as_generator(seed)
+    mask = rng.random(n) < p
+    if protected is not None and len(protected):
+        mask[np.asarray(protected, dtype=np.int64)] = False
+    return mask
+
+
+def random_node_faults(
+    graph: Graph,
+    p: float,
+    seed: SeedLike = None,
+    *,
+    protected: Optional[np.ndarray] = None,
+) -> FaultScenario:
+    """Fail each node independently with probability ``p``."""
+    mask = sample_fault_mask(graph.n, p, seed, protected=protected)
+    return apply_node_faults(graph, np.flatnonzero(mask), kind=f"random(p={p:g})")
+
+
+def random_edge_faults(graph: Graph, p: float, seed: SeedLike = None) -> Graph:
+    """Fail each *edge* independently with probability ``p``.
+
+    Returns the surviving graph on the same node set (node ids unchanged).
+    Used by the bond-percolation benchmarks; the paper's main model is node
+    faults, so no :class:`FaultScenario` wrapper is provided here.
+    """
+    p = check_probability(p)
+    rng = as_generator(seed)
+    edges = graph.edge_array()
+    keep = rng.random(edges.shape[0]) >= p
+    survived = Graph.from_edges(graph.n, edges[keep], name=f"{graph.name}|edge-faults")
+    return survived

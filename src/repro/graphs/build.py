@@ -1,0 +1,83 @@
+"""Interop builders: adjacency matrices and networkx conversion.
+
+networkx is an *optional* dependency used only as a cross-check oracle in the
+test-suite and for user convenience; the library itself never imports it at
+module scope.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import InvalidGraphError
+from .graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx
+
+__all__ = ["from_scipy_sparse", "to_scipy_sparse", "from_networkx", "to_networkx"]
+
+
+def from_scipy_sparse(matrix: sp.spmatrix, *, name: str = "graph") -> Graph:
+    """Build a :class:`Graph` from a (symmetric, hollow) sparse adjacency matrix.
+
+    Nonzero pattern defines edges; values are ignored.  Asymmetric patterns
+    are symmetrised; diagonal entries raise.
+    """
+    csr = sp.csr_matrix(matrix)
+    if csr.shape[0] != csr.shape[1]:
+        raise InvalidGraphError(f"adjacency must be square, got {csr.shape}")
+    if csr.diagonal().any():
+        raise InvalidGraphError("self-loops (nonzero diagonal) are not allowed")
+    coo = csr.tocoo()
+    edges = np.column_stack([coo.row, coo.col]).astype(np.int64)
+    edges = edges[edges[:, 0] < edges[:, 1]]
+    sym = sp.coo_matrix(
+        (np.ones(coo.row.shape[0]), (coo.row, coo.col)), shape=csr.shape
+    )
+    if (sym != sym.T).nnz:
+        # symmetrise by union of patterns
+        both = coo
+        edges = np.column_stack([both.row, both.col]).astype(np.int64)
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        edges = np.unique(np.column_stack([lo, hi]), axis=0)
+    return Graph.from_edges(csr.shape[0], edges, name=name)
+
+
+def to_scipy_sparse(graph: Graph) -> sp.csr_matrix:
+    """Adjacency matrix of ``graph`` as ``csr_matrix`` with unit weights."""
+    data = np.ones(graph.indices.shape[0], dtype=np.float64)
+    return sp.csr_matrix(
+        (data, graph.indices.copy(), graph.indptr.copy()), shape=(graph.n, graph.n)
+    )
+
+
+def from_networkx(nx_graph: "networkx.Graph", *, name: str | None = None) -> Graph:
+    """Convert a networkx graph (nodes relabelled to ``0..n-1`` in sorted
+    order when possible, insertion order otherwise)."""
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {v: i for i, v in enumerate(nodes)}
+    edges = np.array(
+        [[index[u], index[v]] for u, v in nx_graph.edges() if u != v], dtype=np.int64
+    ).reshape(-1, 2)
+    return Graph.from_edges(
+        len(nodes), edges, name=name or (nx_graph.name or "from-networkx")
+    )
+
+
+def to_networkx(graph: Graph) -> "networkx.Graph":
+    """Convert to a networkx graph (requires networkx installed)."""
+    import networkx as nx
+
+    g: Any = nx.Graph(name=graph.name)
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(map(tuple, graph.edge_array().tolist()))
+    return g

@@ -1,0 +1,49 @@
+"""Topology generators used throughout the reproduction."""
+
+from .butterfly import butterfly, splitter_network, wrapped_butterfly
+from .chains import ChainReplacement, chain_replacement
+from .classic import (
+    barbell,
+    binary_tree,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    ring_of_cliques,
+    star_graph,
+)
+from .debruijn import debruijn, shuffle_exchange
+from .expanders import chordal_cycle, expander, margulis_expander
+from .hypercube import hypercube
+from .mesh import can_overlay, coord_to_id, mesh, mesh_coords, torus
+from .random_graphs import erdos_renyi, gnm_random, random_regular
+
+__all__ = [
+    "butterfly",
+    "wrapped_butterfly",
+    "splitter_network",
+    "ChainReplacement",
+    "chain_replacement",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_bipartite",
+    "barbell",
+    "ring_of_cliques",
+    "binary_tree",
+    "debruijn",
+    "shuffle_exchange",
+    "margulis_expander",
+    "chordal_cycle",
+    "expander",
+    "hypercube",
+    "mesh",
+    "torus",
+    "can_overlay",
+    "mesh_coords",
+    "coord_to_id",
+    "erdos_renyi",
+    "gnm_random",
+    "random_regular",
+]

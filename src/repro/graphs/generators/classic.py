@@ -1,0 +1,134 @@
+"""Classic small families: complete, cycle, path, star, trees, and the
+pathological low-expansion specimens (barbell, ring of cliques) used to test
+the pruning machinery's ability to find and cull bottlenecks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import InvalidParameterError
+from ..graph import Graph
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_bipartite",
+    "barbell",
+    "ring_of_cliques",
+    "binary_tree",
+]
+
+
+def complete_graph(n: int) -> Graph:
+    """``K_n``.  Critical survival probability ``1/(n-1)`` (Erdős–Rényi)."""
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if n < 2:
+        return Graph.empty(n, name=f"K{n}")
+    iu = np.triu_indices(n, k=1)
+    edges = np.column_stack([iu[0], iu[1]]).astype(np.int64)
+    return Graph.from_edges(n, edges, name=f"K{n}")
+
+
+def cycle_graph(n: int) -> Graph:
+    """``C_n`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise InvalidParameterError(f"cycle needs n >= 3, got {n}")
+    ids = np.arange(n, dtype=np.int64)
+    edges = np.column_stack([ids, (ids + 1) % n])
+    return Graph.from_edges(n, edges, name=f"C{n}")
+
+
+def path_graph(n: int) -> Graph:
+    """``P_n``: the path on ``n`` nodes."""
+    if n < 1:
+        raise InvalidParameterError(f"path needs n >= 1, got {n}")
+    if n == 1:
+        return Graph.empty(1, name="P1")
+    ids = np.arange(n - 1, dtype=np.int64)
+    edges = np.column_stack([ids, ids + 1])
+    return Graph.from_edges(n, edges, name=f"P{n}")
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Star with one hub (id 0) and ``n_leaves`` leaves."""
+    if n_leaves < 1:
+        raise InvalidParameterError(f"star needs >= 1 leaf, got {n_leaves}")
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    edges = np.column_stack([np.zeros(n_leaves, dtype=np.int64), leaves])
+    return Graph.from_edges(n_leaves + 1, edges, name=f"star-{n_leaves}")
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with parts ``0..a-1`` and ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise InvalidParameterError(f"parts must be >= 1, got {a}, {b}")
+    left = np.repeat(np.arange(a, dtype=np.int64), b)
+    right = np.tile(np.arange(a, a + b, dtype=np.int64), a)
+    return Graph.from_edges(a + b, np.column_stack([left, right]), name=f"K{a},{b}")
+
+
+def barbell(clique_size: int, bridge_length: int = 0) -> Graph:
+    """Two ``K_n`` cliques joined by a path of ``bridge_length`` extra nodes.
+
+    The canonical "connectivity without expansion" example from the paper's
+    introduction ("just a single line connects one half to the other").
+    """
+    if clique_size < 2:
+        raise InvalidParameterError(f"clique_size must be >= 2, got {clique_size}")
+    if bridge_length < 0:
+        raise InvalidParameterError("bridge_length must be >= 0")
+    c = clique_size
+    n = 2 * c + bridge_length
+    iu = np.triu_indices(c, k=1)
+    left = np.column_stack([iu[0], iu[1]]).astype(np.int64)
+    right = left + c
+    edges = [left, right]
+    # bridge: last node of left clique (c-1) -> bridge nodes -> first of right (c)
+    chain = np.concatenate(
+        [[c - 1], np.arange(2 * c, 2 * c + bridge_length, dtype=np.int64), [c]]
+    )
+    edges.append(np.column_stack([chain[:-1], chain[1:]]))
+    return Graph.from_edges(n, np.concatenate(edges, axis=0),
+                            name=f"barbell-{c}-{bridge_length}")
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int) -> Graph:
+    """``n_cliques`` copies of ``K_s`` arranged in a ring, consecutive cliques
+    joined by one edge.  Expansion ``Θ(1/(s·n_cliques))`` — a uniform-expansion
+    family useful for exercising Theorem 2.5's attack."""
+    if n_cliques < 3:
+        raise InvalidParameterError(f"need >= 3 cliques, got {n_cliques}")
+    if clique_size < 2:
+        raise InvalidParameterError(f"clique_size must be >= 2, got {clique_size}")
+    s = clique_size
+    n = n_cliques * s
+    iu = np.triu_indices(s, k=1)
+    blocks = [
+        np.column_stack([iu[0] + i * s, iu[1] + i * s]).astype(np.int64)
+        for i in range(n_cliques)
+    ]
+    ring = np.column_stack(
+        [
+            np.arange(n_cliques, dtype=np.int64) * s,           # first node of clique i
+            ((np.arange(n_cliques, dtype=np.int64) + 1) % n_cliques) * s + 1,
+        ]
+    )
+    return Graph.from_edges(
+        n, np.concatenate(blocks + [ring], axis=0), name=f"roc-{n_cliques}x{s}"
+    )
+
+
+def binary_tree(depth: int) -> Graph:
+    """Complete binary tree of ``2^{depth+1} - 1`` nodes (heap indexing)."""
+    if depth < 0:
+        raise InvalidParameterError(f"depth must be >= 0, got {depth}")
+    n = (1 << (depth + 1)) - 1
+    if n == 1:
+        return Graph.empty(1, name="btree-0")
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // 2
+    return Graph.from_edges(n, np.column_stack([parent, child]), name=f"btree-{depth}")

@@ -1,0 +1,61 @@
+"""de Bruijn and shuffle-exchange graphs.
+
+Both appear in the paper's open problems ("we conjecture that the butterfly,
+shuffle-exchange, and deBruijn network all have a span of O(1)").  We provide
+them as topology specimens for the span-sampling experiments and percolation
+sweeps.  Undirected simple versions are used (the standard choice for fault
+studies): directed edges are symmetrised and self-loops dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import InvalidParameterError
+from ..graph import Graph
+
+__all__ = ["debruijn", "shuffle_exchange"]
+
+
+def debruijn(k: int) -> Graph:
+    """Binary de Bruijn graph on ``2^k`` nodes.
+
+    Node ``x`` (a ``k``-bit string) is adjacent to its left shifts
+    ``(2x + b) mod 2^k`` for ``b ∈ {0, 1}``; symmetrised, self-loops
+    (``x = 0`` and ``x = 2^k − 1``) removed.  Max degree 4.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"de Bruijn order must be >= 1, got {k}")
+    if k > 22:
+        raise InvalidParameterError(f"de Bruijn order {k} too large")
+    n = 1 << k
+    x = np.arange(n, dtype=np.int64)
+    shift0 = (2 * x) % n
+    shift1 = (2 * x + 1) % n
+    edges = np.concatenate(
+        [np.column_stack([x, shift0]), np.column_stack([x, shift1])], axis=0
+    )
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return Graph.from_edges(n, edges, name=f"debruijn-{k}")
+
+
+def shuffle_exchange(k: int) -> Graph:
+    """Binary shuffle-exchange graph on ``2^k`` nodes.
+
+    Node ``x`` is adjacent to ``x ^ 1`` (exchange) and to its cyclic left
+    shift (shuffle); symmetrised, self-loops removed.  Max degree 3.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"shuffle-exchange order must be >= 1, got {k}")
+    if k > 22:
+        raise InvalidParameterError(f"shuffle-exchange order {k} too large")
+    n = 1 << k
+    x = np.arange(n, dtype=np.int64)
+    exchange = x ^ 1
+    high = (x >> (k - 1)) & 1
+    shuffle = ((x << 1) | high) & (n - 1)
+    edges = np.concatenate(
+        [np.column_stack([x, exchange]), np.column_stack([x, shuffle])], axis=0
+    )
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    return Graph.from_edges(n, edges, name=f"shuffle-exchange-{k}")

@@ -1,0 +1,42 @@
+"""Hypercube generator.
+
+The ``d``-dimensional hypercube has ``2^d`` nodes (bit strings) with edges
+between strings at Hamming distance 1.  The paper cites Ajtai–Komlós–
+Szemerédi: its critical survival probability is ``p* = 1/d`` (so fault
+probability ``1 - 1/d``); we regenerate that row of the Section 1.1 survey
+in experiment E8.  The hypercube also serves as a high-expansion specimen in
+the adversarial experiments (node expansion ``Θ(1/√d)``-ish for balanced
+cuts; exactly ``1`` for the bisection along one coordinate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import InvalidParameterError
+from ..graph import Graph
+
+__all__ = ["hypercube"]
+
+
+def hypercube(d: int) -> Graph:
+    """The ``d``-dimensional hypercube ``Q_d`` on ``2^d`` nodes.
+
+    Node ``i`` is adjacent to ``i ^ (1 << b)`` for every bit ``b < d``.
+    Coordinates (the bit matrix) are attached as :attr:`Graph.coords`.
+    """
+    if d < 0:
+        raise InvalidParameterError(f"dimension must be >= 0, got {d}")
+    if d > 24:
+        raise InvalidParameterError(f"hypercube dimension {d} too large (n = 2^d)")
+    n = 1 << d
+    ids = np.arange(n, dtype=np.int64)
+    if d == 0:
+        return Graph.empty(1, name="hypercube-0")
+    edges = []
+    for b in range(d):
+        mask = (ids >> b) & 1 == 0
+        edges.append(np.column_stack([ids[mask], ids[mask] | (1 << b)]))
+    edge_arr = np.concatenate(edges, axis=0)
+    bits = ((ids[:, None] >> np.arange(d)[None, :]) & 1).astype(np.int64)
+    return Graph.from_edges(n, edge_arr, name=f"hypercube-{d}", coords=bits)

@@ -1,0 +1,156 @@
+"""d-dimensional meshes, tori, and CAN-style overlays.
+
+The d-dimensional mesh is the paper's flagship application: Theorem 3.6
+proves it has span ≤ 2 and hence tolerates a fault probability inversely
+polynomial in ``d`` (Section 4 relates this to the CAN peer-to-peer overlay,
+whose steady state behaves like a d-dimensional torus).
+
+Nodes are identified with coordinate tuples enumerated in row-major
+(C-contiguous) order; :attr:`Graph.coords` carries the ``(n, d)`` coordinate
+matrix so span/boundary machinery can exploit geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...errors import InvalidParameterError
+from ...util.rng import SeedLike, as_generator
+from ..graph import Graph
+
+__all__ = ["mesh", "torus", "can_overlay", "mesh_coords", "coord_to_id"]
+
+
+def _side_spec(sides: Sequence[int] | int, d: int | None) -> np.ndarray:
+    if isinstance(sides, (int, np.integer)):
+        if d is None:
+            raise InvalidParameterError("d is required when sides is a scalar")
+        arr = np.full(int(d), int(sides), dtype=np.int64)
+    else:
+        arr = np.asarray(list(sides), dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise InvalidParameterError("sides must be a non-empty 1-D sequence")
+    if np.any(arr < 1):
+        raise InvalidParameterError(f"every side must be >= 1, got {arr.tolist()}")
+    return arr
+
+
+def mesh_coords(sides: Sequence[int]) -> np.ndarray:
+    """Coordinate matrix ``(prod(sides), d)`` in row-major node order."""
+    sides_arr = _side_spec(sides, None if not isinstance(sides, int) else 1)
+    grids = np.indices(tuple(int(s) for s in sides_arr))
+    return np.column_stack([g.ravel() for g in grids]).astype(np.int64)
+
+
+def coord_to_id(coord: np.ndarray, sides: np.ndarray) -> np.ndarray:
+    """Map coordinate rows to node ids (row-major ravel)."""
+    coord = np.atleast_2d(np.asarray(coord, dtype=np.int64))
+    sides = np.asarray(sides, dtype=np.int64)
+    strides = np.concatenate([np.cumprod(sides[::-1])[::-1][1:], [1]]).astype(np.int64)
+    return coord @ strides
+
+
+def _grid_graph(sides: np.ndarray, wrap: bool, name: str) -> Graph:
+    n = int(np.prod(sides))
+    d = sides.shape[0]
+    coords = mesh_coords(sides.tolist())
+    strides = np.concatenate([np.cumprod(sides[::-1])[::-1][1:], [1]]).astype(np.int64)
+    edges = []
+    ids = np.arange(n, dtype=np.int64)
+    for axis in range(d):
+        axis_coord = coords[:, axis]
+        side = int(sides[axis])
+        if side == 1:
+            continue
+        # +1 neighbour along this axis for all nodes not on the top face
+        interior = axis_coord < side - 1
+        edges.append(np.column_stack([ids[interior], ids[interior] + strides[axis]]))
+        if wrap and side > 2:
+            top = axis_coord == side - 1
+            edges.append(
+                np.column_stack([ids[top], ids[top] - (side - 1) * strides[axis]])
+            )
+    if edges:
+        edge_arr = np.concatenate(edges, axis=0)
+    else:
+        edge_arr = np.empty((0, 2), dtype=np.int64)
+    return Graph.from_edges(n, edge_arr, name=name, coords=coords)
+
+
+def mesh(sides: Sequence[int] | int, d: int | None = None) -> Graph:
+    """d-dimensional mesh (grid) graph.
+
+    Parameters
+    ----------
+    sides:
+        Either a per-axis side-length sequence (``[4, 4, 4]``) or a scalar
+        side used for all ``d`` axes.
+    d:
+        Dimension; required iff ``sides`` is a scalar.
+
+    Notes
+    -----
+    The ``n × n`` mesh of the paper is ``mesh([n, n])``.  Node expansion of
+    the 2-D mesh is ``Θ(1/√N)`` for ``N = n²`` nodes (paper §2 uses this as
+    the canonical uniform-expansion family).
+    """
+    sides_arr = _side_spec(sides, d)
+    label = "x".join(str(int(s)) for s in sides_arr)
+    return _grid_graph(sides_arr, wrap=False, name=f"mesh-{label}")
+
+
+def torus(sides: Sequence[int] | int, d: int | None = None) -> Graph:
+    """d-dimensional torus: the mesh with wrap-around edges per axis.
+
+    Axes with side ≤ 2 are not wrapped (a wrap edge would duplicate an
+    existing mesh edge).  The torus is vertex-transitive which removes
+    boundary effects from fault experiments; it is the steady-state topology
+    of the CAN overlay discussed in the paper's conclusion.
+    """
+    sides_arr = _side_spec(sides, d)
+    label = "x".join(str(int(s)) for s in sides_arr)
+    return _grid_graph(sides_arr, wrap=True, name=f"torus-{label}")
+
+
+def can_overlay(
+    n_peers: int,
+    d: int,
+    seed: SeedLike = None,
+) -> Graph:
+    """CAN-style peer-to-peer overlay (Ratnasamy et al., SIGCOMM 2001).
+
+    CAN partitions a d-dimensional torus of zones among peers; in steady
+    state, with zones balanced, the overlay is exactly the d-dimensional
+    torus.  We model the *imperfect* steady state: start from the smallest
+    d-torus with at least ``n_peers`` zones, then delete the surplus zones
+    uniformly at random (peers that have not yet joined).  The result keeps
+    torus-like local structure with the mild irregularity of a real overlay.
+
+    Parameters
+    ----------
+    n_peers:
+        Number of peers (nodes of the overlay).
+    d:
+        Overlay dimension (CAN's design parameter).
+    seed:
+        RNG spec for the surplus-zone deletion.
+    """
+    if n_peers < 1:
+        raise InvalidParameterError(f"n_peers must be >= 1, got {n_peers}")
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    side = 1
+    while side**d < n_peers:
+        side += 1
+    base = torus(side, d)
+    surplus = base.n - n_peers
+    if surplus == 0:
+        return base.renamed(f"can-{n_peers}-d{d}")
+    rng = as_generator(seed)
+    drop = rng.choice(base.n, size=surplus, replace=False)
+    overlay = base.without_nodes(drop)
+    # detach: the overlay is a root network from the caller's perspective —
+    # its provenance must not leak the internal scaffold torus ids
+    return overlay.detached(name=f"can-{n_peers}-d{d}")

@@ -1,0 +1,130 @@
+"""Random graph models: G(n, p), G(n, m), and random regular graphs.
+
+Random ``d``-regular graphs are the expander workhorse of the reproduction:
+with probability ``1 - o(1)`` they have edge expansion bounded below by a
+constant fraction of ``d`` (and node expansion Θ(1)), which is exactly the
+"infinite family of constant degree expander graphs" the paper's
+constructions in Theorems 2.3 and 3.1 start from.  G(n, d·n/2 edges) supplies
+the "random graph with d·n/2 edges" row of the Section 1.1 survey
+(``p* = 1/d``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import InvalidParameterError, SolverError
+from ...util.rng import SeedLike, as_generator
+from ..graph import Graph
+
+__all__ = ["erdos_renyi", "gnm_random", "random_regular"]
+
+
+def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """G(n, p): each of the ``C(n,2)`` edges present independently with prob ``p``.
+
+    Vectorised via geometric skipping for small ``p`` would be fancier; at
+    laptop scale a dense upper-triangular Bernoulli draw (O(n²) bits) is
+    simpler and fast for ``n ≤ ~5000``, which covers every use here.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    if n > 20000:
+        raise InvalidParameterError("erdos_renyi limited to n <= 20000 (dense draw)")
+    rng = as_generator(seed)
+    if n < 2 or p == 0.0:
+        return Graph.empty(n, name=f"gnp-{n}-{p:g}")
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(iu[0].shape[0]) < p
+    edges = np.column_stack([iu[0][mask], iu[1][mask]]).astype(np.int64)
+    return Graph.from_edges(n, edges, name=f"gnp-{n}-{p:g}")
+
+
+def gnm_random(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """G(n, m): ``m`` distinct edges drawn uniformly without replacement."""
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    max_m = n * (n - 1) // 2
+    if not 0 <= m <= max_m:
+        raise InvalidParameterError(f"m must be in [0, {max_m}], got {m}")
+    rng = as_generator(seed)
+    if m == 0:
+        return Graph.empty(n, name=f"gnm-{n}-{m}")
+    # Sample edge ranks without replacement, then invert the pairing function.
+    ranks = rng.choice(max_m, size=m, replace=False).astype(np.int64)
+    # edge rank r corresponds to pair (i, j), i < j, enumerated row by row
+    i = (np.ceil((np.sqrt(8 * (ranks + 1).astype(np.float64) + 1) - 1) / 2)).astype(np.int64)
+    # i above enumerates by the j index ordering on pairs (j > i); derive via
+    # the standard triangular-number inversion on the "upper" enumeration:
+    j = i.copy()
+    tri = j * (j - 1) // 2
+    # fix rounding slips from the float sqrt
+    too_big = tri > ranks
+    while np.any(too_big):
+        j[too_big] -= 1
+        tri = j * (j - 1) // 2
+        too_big = tri > ranks
+    too_small = (j + 1) * j // 2 <= ranks
+    while np.any(too_small):
+        j[too_small] += 1
+        tri = j * (j - 1) // 2
+        too_small = (j + 1) * j // 2 <= ranks
+    i = ranks - tri
+    edges = np.column_stack([i, j])
+    return Graph.from_edges(n, edges, name=f"gnm-{n}-{m}")
+
+
+def random_regular(n: int, d: int, seed: SeedLike = None, *, max_tries: int = 50) -> Graph:
+    """Random ``d``-regular simple graph via the pairing model with repair.
+
+    Samples a perfect matching of the ``n·d`` half-edge stubs, then repairs
+    self-loops and multi-edges by random double-edge swaps (swap one endpoint
+    of a conflicting pair with a random other pair).  The repair loop
+    converges in a handful of rounds for constant degrees, making the sampler
+    reliable where pure rejection (success probability ``≈ e^{-(d²-1)/4}``
+    per draw) is flaky.  The distribution is the usual
+    asymptotically-uniform-after-repair one — sufficient here because every
+    experiment measures the expansion it actually got.
+
+    Raises
+    ------
+    SolverError
+        If no simple configuration is found within ``max_tries`` draws.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if d < 0 or d >= n:
+        raise InvalidParameterError(f"degree must satisfy 0 <= d < n, got {d}")
+    if (n * d) % 2 != 0:
+        raise InvalidParameterError(f"n*d must be even, got n={n}, d={d}")
+    if d == 0:
+        return Graph.empty(n, name=f"rr-{n}-{d}")
+    rng = as_generator(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    n_pairs = (n * d) // 2
+    for _ in range(max_tries):
+        perm = rng.permutation(stubs)
+        pairs = perm.reshape(n_pairs, 2)
+        for _repair in range(200):
+            u, v = pairs[:, 0], pairs[:, 1]
+            lo, hi = np.minimum(u, v), np.maximum(u, v)
+            keys = lo * np.int64(n) + hi
+            bad = u == v
+            # mark all but the first occurrence of each duplicate key
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            dup_sorted = np.zeros(n_pairs, dtype=bool)
+            dup_sorted[1:] = sorted_keys[1:] == sorted_keys[:-1]
+            bad[order[dup_sorted]] = True
+            bad_idx = np.flatnonzero(bad)
+            if bad_idx.size == 0:
+                return Graph.from_edges(n, pairs, name=f"rr-{n}-{d}")
+            partners = rng.integers(0, n_pairs, size=bad_idx.size)
+            for i, j in zip(bad_idx.tolist(), partners.tolist()):
+                pairs[i, 1], pairs[j, 1] = pairs[j, 1], pairs[i, 1]
+    raise SolverError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes "
+        f"in {max_tries} tries"
+    )

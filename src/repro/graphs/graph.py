@@ -1,0 +1,316 @@
+"""Immutable CSR graph — the core data structure of the library.
+
+Design
+------
+The whole reproduction runs on undirected simple graphs with integer node ids
+``0..n-1``.  We store the adjacency structure in compressed sparse row form
+(``indptr``/``indices``), the same layout ``scipy.sparse.csr_matrix`` uses,
+because every hot operation in the paper's algorithms — boundary computation,
+BFS frontier expansion, expansion ratio scans — reduces to gathering the
+neighbourhoods of a *set* of nodes, which CSR serves with two contiguous
+array reads (cache-friendly, per the hpc-parallel guide).
+
+Graphs are immutable: fault injection and pruning produce *new* graphs via
+:meth:`Graph.subgraph`, which also records the mapping back to the original
+ids (``original_ids``).  Keeping explicit provenance is essential for the
+experiments, which must report culled/surviving node sets in terms of the
+fault-free network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidGraphError
+from ..util.validation import check_node_array
+
+__all__ = ["Graph", "neighbors_of_many"]
+
+
+class Graph:
+    """Undirected simple graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; ``indices[indptr[v]:indptr[v+1]]``
+        are the neighbours of node ``v`` in strictly increasing order.
+    indices:
+        ``int64`` array of length ``2m`` (each undirected edge appears twice).
+    name:
+        Human-readable identifier used in reports.
+    coords:
+        Optional per-node metadata (e.g. mesh coordinates, shape ``(n, d)``).
+        Carried through :meth:`subgraph` for generators that define it.
+    original_ids:
+        Mapping from this graph's ids to an ancestor graph's ids; defaults to
+        the identity.  Composed automatically by :meth:`subgraph`.
+    validate:
+        Run structural validation (sortedness, symmetry, no self-loops).
+        Generators that construct CSR arrays directly may skip it.
+    """
+
+    __slots__ = ("indptr", "indices", "name", "coords", "original_ids", "_degree")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        name: str = "graph",
+        coords: Optional[np.ndarray] = None,
+        original_ids: Optional[np.ndarray] = None,
+        validate: bool = True,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.name = str(name)
+        self.coords = None if coords is None else np.ascontiguousarray(coords)
+        n = self.indptr.shape[0] - 1
+        if original_ids is None:
+            self.original_ids = np.arange(n, dtype=np.int64)
+        else:
+            self.original_ids = np.ascontiguousarray(original_ids, dtype=np.int64)
+        self._degree: Optional[np.ndarray] = None
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int]] | np.ndarray,
+        *,
+        name: str = "graph",
+        coords: Optional[np.ndarray] = None,
+    ) -> "Graph":
+        """Build a graph from an edge list.
+
+        Duplicate edges and both orientations are tolerated (collapsed to a
+        simple undirected graph); self-loops raise
+        :class:`~repro.errors.InvalidGraphError`.
+        """
+        if n < 0:
+            raise InvalidGraphError(f"node count must be >= 0, got {n}")
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            return cls(indptr, np.empty(0, dtype=np.int64), name=name, coords=coords,
+                       validate=False)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise InvalidGraphError(f"edge array must have shape (m, 2), got {arr.shape}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise InvalidGraphError("edges must contain integers")
+        u, v = arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64)
+        if np.any(u == v):
+            raise InvalidGraphError("self-loops are not allowed")
+        if u.min() < 0 or v.min() < 0 or max(u.max(), v.max()) >= n:
+            raise InvalidGraphError(f"edge endpoints out of range [0, {n})")
+        # Canonicalise (min, max), dedupe, then mirror for CSR symmetry.
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        keys = lo * np.int64(n) + hi
+        _, keep = np.unique(keys, return_index=True)
+        lo, hi = lo[keep], hi[keep]
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, dst, name=name, coords=coords, validate=False)
+
+    @classmethod
+    def empty(cls, n: int, *, name: str = "empty") -> "Graph":
+        """Graph on ``n`` nodes with no edges."""
+        return cls(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64),
+                   name=name, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.shape[0] // 2)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node degree array (cached)."""
+        if self._degree is None:
+            self._degree = np.diff(self.indptr)
+        return self._degree
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree δ (0 for an edgeless graph)."""
+        return int(self.degrees.max()) if self.n else 0
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum degree (0 for an edgeless graph)."""
+        return int(self.degrees.min()) if self.n else 0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of node ``v`` (a view — do not mutate)."""
+        return self.indices[self.indptr[v]: self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists (binary search)."""
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return bool(i < nbrs.shape[0] and nbrs[i] == v)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v`` per row."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    def is_regular(self) -> bool:
+        """Whether every node has the same degree."""
+        return self.n == 0 or bool(np.all(self.degrees == self.degrees[0]))
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+
+    def subgraph(self, nodes: np.ndarray | Sequence[int]) -> "Graph":
+        """Induced subgraph on ``nodes`` (relabelled ``0..len(nodes)-1``).
+
+        ``original_ids`` of the result composes with this graph's mapping so
+        that ids always resolve to the *root* fault-free network.
+        """
+        keep = check_node_array(nodes, self.n, "nodes")
+        mask = np.zeros(self.n, dtype=bool)
+        mask[keep] = True
+        # new id for each kept node; -1 elsewhere
+        relabel = np.full(self.n, -1, dtype=np.int64)
+        relabel[keep] = np.arange(keep.shape[0], dtype=np.int64)
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        edge_keep = mask[src] & mask[self.indices]
+        new_src = relabel[src[edge_keep]]
+        new_dst = relabel[self.indices[edge_keep]]
+        n_new = keep.shape[0]
+        indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.add.at(indptr, new_src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        # new_src is non-decreasing because `src` was and relabel is monotone
+        # on kept ids; within each row the dst order is inherited (sorted).
+        return Graph(
+            indptr,
+            new_dst,
+            name=self.name,
+            coords=None if self.coords is None else self.coords[keep],
+            original_ids=self.original_ids[keep],
+            validate=False,
+        )
+
+    def without_nodes(self, nodes: np.ndarray | Sequence[int]) -> "Graph":
+        """Induced subgraph after deleting ``nodes``."""
+        drop = check_node_array(nodes, self.n, "nodes")
+        mask = np.ones(self.n, dtype=bool)
+        mask[drop] = False
+        return self.subgraph(np.flatnonzero(mask))
+
+    def renamed(self, name: str) -> "Graph":
+        """Shallow copy with a different ``name`` (arrays are shared)."""
+        return Graph(self.indptr, self.indices, name=name, coords=self.coords,
+                     original_ids=self.original_ids, validate=False)
+
+    def detached(self, *, name: Optional[str] = None) -> "Graph":
+        """Shallow copy that *resets* ``original_ids`` to the identity.
+
+        Generators that build a topology by carving up an internal scaffold
+        (e.g. the CAN overlay deleting surplus torus zones) must detach the
+        result so the provenance chain starts at the graph the caller sees.
+        """
+        return Graph(self.indptr, self.indices, name=name or self.name,
+                     coords=self.coords, original_ids=None, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # dunder / diagnostics
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(name={self.name!r}, n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.m, self.indices.tobytes()[:256]))
+
+    def _validate(self) -> None:
+        indptr, indices = self.indptr, self.indices
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise InvalidGraphError("indptr and indices must be 1-D arrays")
+        if indptr.shape[0] < 1 or indptr[0] != 0:
+            raise InvalidGraphError("indptr must start with 0")
+        if np.any(np.diff(indptr) < 0) or indptr[-1] != indices.shape[0]:
+            raise InvalidGraphError("indptr must be non-decreasing and end at len(indices)")
+        n = self.n
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise InvalidGraphError("indices out of range")
+        if indices.shape[0] % 2 != 0:
+            raise InvalidGraphError("undirected CSR must have even total degree")
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        if np.any(src == indices):
+            raise InvalidGraphError("self-loops are not allowed")
+        # neighbour lists sorted & duplicate-free
+        for v in range(n):
+            row = indices[indptr[v]: indptr[v + 1]]
+            if row.size > 1 and np.any(row[1:] <= row[:-1]):
+                raise InvalidGraphError(f"neighbour list of node {v} not strictly sorted")
+        # symmetry: edge (u,v) implies (v,u); compare canonical multisets
+        lo = np.minimum(src, indices)
+        hi = np.maximum(src, indices)
+        keys = np.sort(lo * np.int64(max(n, 1)) + hi)
+        if keys.size and np.any(keys[0::2] != keys[1::2]):
+            raise InvalidGraphError("adjacency is not symmetric")
+
+    def validate(self) -> None:
+        """Public re-validation hook (used by property tests)."""
+        self._validate()
+
+
+def neighbors_of_many(graph: Graph, nodes: np.ndarray) -> np.ndarray:
+    """Concatenated neighbour ids of ``nodes`` (with multiplicity).
+
+    This is the library's core gather primitive: for a node set ``F`` it
+    returns ``concat(N(v) for v in F)`` in O(total degree) numpy work with no
+    Python-level loop.  Callers dedupe with ``np.unique`` or boolean masks as
+    needed.
+
+    Implementation: build the flat CSR positions as
+    ``arange(total) + repeat(row_start - out_start, counts)``.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = graph.indptr[nodes]
+    counts = graph.indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_starts = np.zeros(nodes.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=out_starts[1:])
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, counts)
+    return graph.indices[flat]

@@ -1,0 +1,141 @@
+"""Set-level graph operators: boundaries, expansion ratios, volumes.
+
+These implement the quantities the paper is written in terms of:
+
+* ``Γ(S)`` — the *node boundary*: nodes outside ``S`` adjacent to ``S``
+  (paper §1.3, used by `Prune` and the span definition);
+* ``Γe(S)`` / ``(S, V\\S)`` — the *edge boundary*: edges with exactly one
+  endpoint in ``S`` (used by `Prune2` and edge expansion);
+* the per-set node/edge expansion ratios ``α(S)`` and ``αe(S)``.
+
+All functions accept either an index array or a boolean mask for ``S`` and
+are fully vectorised (one neighbour gather + masking).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .graph import Graph, neighbors_of_many
+
+__all__ = [
+    "as_mask",
+    "as_indices",
+    "node_boundary",
+    "node_boundary_size",
+    "edge_boundary_count",
+    "edge_boundary",
+    "node_expansion_of_set",
+    "edge_expansion_of_set",
+    "volume",
+    "closed_neighborhood",
+]
+
+SetLike = Union[np.ndarray, Sequence[int]]
+
+
+def as_mask(graph: Graph, subset: SetLike) -> np.ndarray:
+    """Canonicalise ``subset`` into a boolean membership mask of length ``n``."""
+    arr = np.asarray(subset)
+    if arr.dtype == bool:
+        if arr.shape != (graph.n,):
+            raise InvalidParameterError(
+                f"boolean mask must have shape ({graph.n},), got {arr.shape}"
+            )
+        return arr
+    mask = np.zeros(graph.n, dtype=bool)
+    idx = np.asarray(arr, dtype=np.int64).ravel()
+    if idx.size:
+        if idx.min() < 0 or idx.max() >= graph.n:
+            raise InvalidParameterError(f"subset ids outside [0, {graph.n})")
+        mask[idx] = True
+    return mask
+
+
+def as_indices(graph: Graph, subset: SetLike) -> np.ndarray:
+    """Canonicalise ``subset`` into a sorted ``int64`` index array."""
+    arr = np.asarray(subset)
+    if arr.dtype == bool:
+        if arr.shape != (graph.n,):
+            raise InvalidParameterError(
+                f"boolean mask must have shape ({graph.n},), got {arr.shape}"
+            )
+        return np.flatnonzero(arr)
+    idx = np.unique(np.asarray(arr, dtype=np.int64).ravel())
+    if idx.size and (idx[0] < 0 or idx[-1] >= graph.n):
+        raise InvalidParameterError(f"subset ids outside [0, {graph.n})")
+    return idx
+
+
+def node_boundary(graph: Graph, subset: SetLike) -> np.ndarray:
+    """``Γ(S)``: sorted ids of nodes outside ``S`` adjacent to some node of ``S``."""
+    mask = as_mask(graph, subset)
+    idx = np.flatnonzero(mask)
+    nbrs = neighbors_of_many(graph, idx)
+    if nbrs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    outside = nbrs[~mask[nbrs]]
+    return np.unique(outside)
+
+
+def node_boundary_size(graph: Graph, subset: SetLike) -> int:
+    """``|Γ(S)|`` without materialising the boundary id list."""
+    return int(node_boundary(graph, subset).shape[0])
+
+
+def edge_boundary_count(graph: Graph, subset: SetLike) -> int:
+    """``|(S, V\\S)|``: number of edges with exactly one endpoint in ``S``."""
+    mask = as_mask(graph, subset)
+    idx = np.flatnonzero(mask)
+    nbrs = neighbors_of_many(graph, idx)
+    if nbrs.size == 0:
+        return 0
+    return int(np.count_nonzero(~mask[nbrs]))
+
+
+def edge_boundary(graph: Graph, subset: SetLike) -> np.ndarray:
+    """Crossing edges as an ``(k, 2)`` array with the ``S``-endpoint first."""
+    mask = as_mask(graph, subset)
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    counts = graph.indptr[idx + 1] - graph.indptr[idx]
+    src = np.repeat(idx, counts)
+    dst = neighbors_of_many(graph, idx)
+    keep = ~mask[dst]
+    return np.column_stack([src[keep], dst[keep]])
+
+
+def node_expansion_of_set(graph: Graph, subset: SetLike) -> float:
+    """``α(S) = |Γ(S)| / |S|`` (paper §1.3).  Raises for empty ``S``."""
+    idx = as_indices(graph, subset)
+    if idx.size == 0:
+        raise InvalidParameterError("expansion of the empty set is undefined")
+    return node_boundary_size(graph, idx) / idx.size
+
+
+def edge_expansion_of_set(graph: Graph, subset: SetLike) -> float:
+    """``αe(S) = |(S, V\\S)| / min(|S|, |V\\S|)`` (paper §1.3).
+
+    Raises for empty ``S`` or ``S = V`` (the minimum would be 0).
+    """
+    idx = as_indices(graph, subset)
+    if idx.size == 0 or idx.size == graph.n:
+        raise InvalidParameterError("edge expansion needs a proper non-empty subset")
+    denom = min(idx.size, graph.n - idx.size)
+    return edge_boundary_count(graph, idx) / denom
+
+
+def volume(graph: Graph, subset: SetLike) -> int:
+    """Sum of degrees over ``S`` (the conductance denominator)."""
+    idx = as_indices(graph, subset)
+    return int(graph.degrees[idx].sum())
+
+
+def closed_neighborhood(graph: Graph, subset: SetLike) -> np.ndarray:
+    """``S ∪ Γ(S)`` as a sorted id array."""
+    idx = as_indices(graph, subset)
+    return np.union1d(idx, node_boundary(graph, idx))

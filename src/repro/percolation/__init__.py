@@ -1,0 +1,20 @@
+"""Percolation engine: site/bond Monte Carlo, sweeps, threshold estimation."""
+
+from .bonds import BondSweep, bond_percolation, bond_percolation_trial, bond_sweep
+from .known import KnownThreshold, known_thresholds
+from .sites import SitePercolationResult, site_percolation, site_percolation_trial
+from .threshold import ThresholdEstimate, estimate_critical_probability
+
+__all__ = [
+    "site_percolation",
+    "site_percolation_trial",
+    "SitePercolationResult",
+    "bond_percolation",
+    "bond_percolation_trial",
+    "bond_sweep",
+    "BondSweep",
+    "estimate_critical_probability",
+    "ThresholdEstimate",
+    "KnownThreshold",
+    "known_thresholds",
+]

@@ -1,0 +1,82 @@
+"""Literature critical probabilities surveyed in Section 1.1 of the paper.
+
+Each entry records the *survival* probability threshold ``p*`` as reported in
+the sources the paper cites, plus which percolation mode it refers to.  The
+E8 benchmark regenerates the measured counterpart of this table.
+
+Sources (paper's citation numbers):
+  [10] Erdős–Rényi 1960 — complete graph, ``p* = 1/(n−1)`` (edge faults).
+  [10]/[5, 21] — random graph with ``d·n/2`` edges, ``p* = 1/d``.
+  [16] Kesten 1980 — 2-D square lattice bond percolation, ``p* = 1/2``.
+  [1] Ajtai–Komlós–Szemerédi 1982 — hypercube of dimension n, ``p* = 1/n``.
+  [15] Karlin–Nelson–Tamaki 1994 — butterfly, ``0.337 < p* < 0.436``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["KnownThreshold", "known_thresholds"]
+
+
+@dataclass(frozen=True)
+class KnownThreshold:
+    """One row of the Section 1.1 survey."""
+
+    family: str
+    mode: str  # "site" or "bond"
+    p_star: Callable[[dict], float]  # literature threshold given family params
+    p_star_hi: Optional[Callable[[dict], float]]  # upper end when an interval
+    citation: str
+
+    def describe(self, params: dict) -> str:
+        lo = self.p_star(params)
+        if self.p_star_hi is None:
+            return f"{lo:.4g}"
+        return f"[{lo:.4g}, {self.p_star_hi(params):.4g}]"
+
+
+def known_thresholds() -> List[KnownThreshold]:
+    """The survey table, parameterised by family parameters.
+
+    Parameter dictionaries use: ``n`` (nodes), ``d`` (degree / dimension /
+    butterfly order as appropriate per family).
+    """
+    return [
+        KnownThreshold(
+            family="complete graph K_n",
+            mode="bond",
+            p_star=lambda p: 1.0 / (p["n"] - 1),
+            p_star_hi=None,
+            citation="Erdős–Rényi [10]",
+        ),
+        KnownThreshold(
+            family="random graph, d·n/2 edges",
+            mode="bond",
+            p_star=lambda p: 1.0 / p["d"],
+            p_star_hi=None,
+            citation="[10, 5, 21]",
+        ),
+        KnownThreshold(
+            family="2-D mesh (n×n)",
+            mode="bond",
+            p_star=lambda p: 0.5,
+            p_star_hi=None,
+            citation="Kesten [16]",
+        ),
+        KnownThreshold(
+            family="hypercube Q_d",
+            mode="bond",
+            p_star=lambda p: 1.0 / p["d"],
+            p_star_hi=None,
+            citation="Ajtai–Komlós–Szemerédi [1]",
+        ),
+        KnownThreshold(
+            family="butterfly",
+            mode="site",
+            p_star=lambda p: 0.337,
+            p_star_hi=lambda p: 0.436,
+            citation="Karlin–Nelson–Tamaki [15]",
+        ),
+    ]

@@ -1,0 +1,48 @@
+"""The paper's pruning algorithms: Prune (Fig. 1), Prune2 (Fig. 2), Lemma 3.3."""
+
+from .certificates import (
+    Theorem21Check,
+    Theorem34Check,
+    check_theorem21,
+    check_theorem34,
+    theorem21_expansion_bound,
+    theorem21_fault_budget,
+    theorem21_size_bound,
+    theorem34_fault_probability,
+    verify_culls,
+)
+from .compact import compactify, is_compact
+from .cutfinder import (
+    CutFinder,
+    ExhaustiveCutFinder,
+    FoundCut,
+    HybridCutFinder,
+    SweepCutFinder,
+    default_cut_finder,
+)
+from .prune import CulledSet, PruneResult, prune
+from .prune2 import prune2
+
+__all__ = [
+    "prune",
+    "prune2",
+    "PruneResult",
+    "CulledSet",
+    "compactify",
+    "is_compact",
+    "CutFinder",
+    "FoundCut",
+    "ExhaustiveCutFinder",
+    "SweepCutFinder",
+    "HybridCutFinder",
+    "default_cut_finder",
+    "verify_culls",
+    "check_theorem21",
+    "Theorem21Check",
+    "check_theorem34",
+    "Theorem34Check",
+    "theorem21_size_bound",
+    "theorem21_expansion_bound",
+    "theorem21_fault_budget",
+    "theorem34_fault_probability",
+]

@@ -1,0 +1,211 @@
+"""Post-hoc certification of pruning runs against the paper's guarantees.
+
+Two kinds of checks:
+
+* **Soundness of the run itself** (:func:`verify_culls`): every culled set
+  really satisfied the loop condition at cull time — this is recorded in the
+  :class:`~repro.pruning.prune.CulledSet` certificates and re-checked here
+  against the reconstructed intermediate graphs.
+* **The theorem-level guarantees** (:func:`theorem21_size_bound`,
+  :func:`check_theorem21`): Theorem 2.1's size bound ``|H| ≥ n − k·f/α`` and
+  expansion bound ``α(H) ≥ (1 − 1/k)·α``, and Theorem 3.4's
+  ``|H| ≥ n/2`` / ``αe(H) ≥ ε·αe`` analogue — evaluated with exact expansion
+  on small instances and two-sided estimates at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..expansion.estimate import (
+    ExpansionEstimate,
+    estimate_edge_expansion,
+    estimate_node_expansion,
+)
+from ..graphs.graph import Graph
+from ..graphs.ops import edge_boundary_count, node_boundary_size
+from .prune import PruneResult
+
+__all__ = [
+    "theorem21_size_bound",
+    "theorem21_expansion_bound",
+    "theorem21_fault_budget",
+    "theorem34_fault_probability",
+    "verify_culls",
+    "Theorem21Check",
+    "check_theorem21",
+    "Theorem34Check",
+    "check_theorem34",
+]
+
+
+def theorem21_size_bound(n: int, f: int, alpha: float, k: float) -> float:
+    """Theorem 2.1's surviving-size guarantee ``n − k·f/α``."""
+    if alpha <= 0:
+        raise InvalidParameterError("alpha must be > 0")
+    if k < 2:
+        raise InvalidParameterError(f"Theorem 2.1 needs k >= 2, got {k}")
+    return n - k * f / alpha
+
+
+def theorem21_expansion_bound(alpha: float, k: float) -> float:
+    """Theorem 2.1's expansion guarantee ``(1 − 1/k)·α``."""
+    if k < 2:
+        raise InvalidParameterError(f"Theorem 2.1 needs k >= 2, got {k}")
+    return (1.0 - 1.0 / k) * alpha
+
+
+def theorem21_fault_budget(n: int, alpha: float, k: float) -> int:
+    """Largest ``f`` admissible in Theorem 2.1: ``k·f/α ≤ n/4``."""
+    if alpha <= 0:
+        raise InvalidParameterError("alpha must be > 0")
+    if k < 2:
+        raise InvalidParameterError(f"Theorem 2.1 needs k >= 2, got {k}")
+    return int(np.floor(alpha * n / (4.0 * k)))
+
+
+def theorem34_fault_probability(delta: int, sigma: float) -> float:
+    """Theorem 3.4's admissible fault probability ``1/(2e·δ^{4σ})``."""
+    if delta < 1:
+        raise InvalidParameterError(f"delta must be >= 1, got {delta}")
+    if sigma < 1:
+        raise InvalidParameterError(f"span is >= 1 by definition, got {sigma}")
+    return 1.0 / (2.0 * np.e * float(delta) ** (4.0 * sigma))
+
+
+def verify_culls(result: PruneResult, *, atol: float = 1e-9) -> bool:
+    """Re-validate every culled set's ratio certificate.
+
+    Reconstructs each intermediate graph ``G_i`` and recomputes the boundary
+    of the culled set; returns ``True`` iff every recorded ratio matches and
+    satisfies the threshold and the half-size condition.
+    """
+    graph = result.input_graph
+    alive = np.ones(graph.n, dtype=bool)
+    for cull in result.culled:
+        current_ids = np.flatnonzero(alive)
+        current = graph.subgraph(current_ids)
+        # map recorded (input-local) culled ids into current-local ids
+        pos = np.searchsorted(current_ids, cull.nodes)
+        if np.any(current_ids[pos] != cull.nodes):
+            return False
+        if 2 * cull.nodes.shape[0] > current.n:
+            return False
+        if result.kind == "node":
+            boundary = node_boundary_size(current, pos)
+        else:
+            boundary = edge_boundary_count(current, pos)
+        ratio = boundary / cull.nodes.shape[0]
+        # Prune2 culls the *compactified* set whose ratio can only be lower
+        # than the found set's recorded ratio; require threshold, not equality.
+        if ratio > result.threshold + atol and ratio > cull.ratio + atol:
+            return False
+        alive[cull.nodes] = False
+    return True
+
+
+@dataclass(frozen=True)
+class Theorem21Check:
+    """Outcome of checking a prune run against Theorem 2.1."""
+
+    size_ok: bool
+    expansion_ok: bool
+    size_bound: float
+    surviving_size: int
+    expansion_bound: float
+    surviving_expansion: ExpansionEstimate
+
+    @property
+    def ok(self) -> bool:
+        return self.size_ok and self.expansion_ok
+
+
+def check_theorem21(
+    result: PruneResult,
+    *,
+    n_original: int,
+    f: int,
+    alpha: float,
+    k: float,
+    exact_threshold: int = 14,
+) -> Theorem21Check:
+    """Check Theorem 2.1's two guarantees on a finished prune run.
+
+    The expansion check uses the *upper* estimate (best cut found) — if even
+    the best cut we can construct stays above the bound, the guarantee holds
+    for everything our search can see; with the exhaustive finder on small
+    graphs this is exact.
+    """
+    h = result.surviving_graph
+    size_bound = theorem21_size_bound(n_original, f, alpha, k)
+    expansion_bound = theorem21_expansion_bound(alpha, k)
+    if h.n < 2:
+        est = ExpansionEstimate(
+            kind="node", lower=0.0, upper=0.0,
+            witness=np.arange(h.n, dtype=np.int64), exact=True, method="degenerate",
+        )
+    else:
+        est = estimate_node_expansion(h, exact_threshold=exact_threshold)
+    return Theorem21Check(
+        size_ok=h.n >= size_bound - 1e-9,
+        expansion_ok=est.upper >= expansion_bound - 1e-9,
+        size_bound=size_bound,
+        surviving_size=h.n,
+        expansion_bound=expansion_bound,
+        surviving_expansion=est,
+    )
+
+
+@dataclass(frozen=True)
+class Theorem34Check:
+    """Outcome of checking a Prune2 run against Theorem 3.4's guarantee."""
+
+    size_ok: bool
+    expansion_ok: bool
+    surviving_size: int
+    half_n: float
+    expansion_bound: float
+    surviving_expansion: ExpansionEstimate
+
+    @property
+    def ok(self) -> bool:
+        return self.size_ok and self.expansion_ok
+
+
+def check_theorem34(
+    result: PruneResult,
+    *,
+    n_original: int,
+    alpha_e: float,
+    epsilon: float,
+    exact_threshold: int = 14,
+) -> Theorem34Check:
+    """Check Theorem 3.4's guarantee on a finished Prune2 run:
+    ``|H| ≥ n/2`` and ``αe(H) ≥ ε·αe``.
+
+    As with :func:`check_theorem21`, the expansion check uses the best cut
+    the estimator can construct; it is exact below ``exact_threshold``.
+    """
+    if result.kind != "edge":
+        raise InvalidParameterError("check_theorem34 expects a prune2 result")
+    h = result.surviving_graph
+    if h.n < 2:
+        est = ExpansionEstimate(
+            kind="edge", lower=0.0, upper=0.0,
+            witness=np.arange(h.n, dtype=np.int64), exact=True, method="degenerate",
+        )
+    else:
+        est = estimate_edge_expansion(h, exact_threshold=exact_threshold)
+    bound = epsilon * alpha_e
+    return Theorem34Check(
+        size_ok=h.n >= n_original / 2.0,
+        expansion_ok=est.upper >= bound - 1e-9,
+        surviving_size=h.n,
+        half_n=n_original / 2.0,
+        expansion_bound=bound,
+        surviving_expansion=est,
+    )

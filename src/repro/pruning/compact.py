@@ -1,0 +1,119 @@
+"""Compact sets and the compactification map ``K_G(S)`` of Lemma 3.3.
+
+A set ``U`` is *compact* iff both ``U`` and its complement induce connected
+subgraphs (paper §1.4).  Lemma 3.3: for any connected ``S`` with
+``|S| < n/2`` there is a compact set ``K_G(S)`` whose edge expansion is at
+most ``S``'s.  The constructive proof has two cases over the components
+``C(S)`` of ``G \\ S``:
+
+* **Case 1** — some component ``C`` has ``|C| ≥ n/2``: take
+  ``K = G \\ C`` (contains ``S``; its boundary edges are a subset of S's).
+* **Case 2** — all components are ``< n/2``: some component ``Cᵢ`` has edge
+  expansion ≤ ``S``'s (otherwise summing the strict inequalities over the
+  partition ``Γe(∪Cᵢ) = Γe(S)`` contradicts ``|S| < n/2``); take that one.
+
+Prune2 culls ``K_G(S)`` instead of ``S`` so that culled regions are always
+compact — the property the union-bound over spanning trees in Theorem 3.4's
+proof needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..graphs.ops import as_indices, edge_boundary_count
+from ..graphs.traversal import (
+    component_sizes,
+    connected_components,
+    is_subset_connected,
+)
+
+__all__ = ["is_compact", "compactify"]
+
+
+def is_compact(graph: Graph, subset: np.ndarray) -> bool:
+    """Whether ``subset`` and its complement are both connected in ``graph``.
+
+    The empty set and the full vertex set are *not* compact (the span takes a
+    maximum over proper non-empty compact sets; excluding the degenerate
+    cases here keeps every enumeration honest).
+    """
+    idx = as_indices(graph, subset)
+    if idx.size == 0 or idx.size == graph.n:
+        return False
+    if not is_subset_connected(graph, idx):
+        return False
+    mask = np.ones(graph.n, dtype=bool)
+    mask[idx] = False
+    return is_subset_connected(graph, np.flatnonzero(mask))
+
+
+def compactify(graph: Graph, subset: np.ndarray) -> np.ndarray:
+    """``K_G(S)`` per Lemma 3.3: a compact set with edge expansion ≤ S's.
+
+    Parameters
+    ----------
+    graph:
+        Host graph ``G`` (must be connected for the lemma's guarantee; the
+        implementation degrades gracefully by operating on components).
+    subset:
+        A connected set ``S`` with ``1 ≤ |S| < n/2``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted ids of ``K_G(S)``.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``S`` is empty, too large, or not connected.
+    """
+    s = as_indices(graph, subset)
+    n = graph.n
+    if s.size == 0:
+        raise InvalidParameterError("compactify needs a non-empty set")
+    if 2 * s.size > n:
+        # Lemma 3.3 is stated for |S| < n/2; the case-2 argument extends to
+        # |S| = n/2 (which Prune2's loop condition permits), so we only
+        # reject strictly-larger-than-half sets.
+        raise InvalidParameterError(
+            f"compactify requires |S| <= n/2 (got |S|={s.size}, n={n})"
+        )
+    if not is_subset_connected(graph, s):
+        raise InvalidParameterError("compactify requires S to be connected")
+    if is_compact(graph, s):
+        return s
+    # components of G \ S
+    mask = np.ones(n, dtype=bool)
+    mask[s] = False
+    rest_ids = np.flatnonzero(mask)
+    rest = graph.subgraph(rest_ids)
+    labels = connected_components(rest)
+    sizes = component_sizes(labels)
+    # Case 1: a component with |C| >= n/2 exists -> K = V \ C
+    big = np.flatnonzero(sizes * 2 >= n)
+    if big.size:
+        c_local = np.flatnonzero(labels == int(big[0]))
+        c_global = rest_ids[c_local]
+        keep = np.ones(n, dtype=bool)
+        keep[c_global] = False
+        return np.flatnonzero(keep)
+    # Case 2: all components < n/2 -> pick the one with min edge expansion
+    s_ratio = edge_boundary_count(graph, s) / s.size
+    best_nodes = None
+    best_ratio = np.inf
+    for lbl in range(int(sizes.shape[0])):
+        c_global = rest_ids[np.flatnonzero(labels == lbl)]
+        ratio = edge_boundary_count(graph, c_global) / c_global.size
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_nodes = c_global
+    assert best_nodes is not None
+    if best_ratio > s_ratio + 1e-9:  # pragma: no cover - Lemma 3.3 forbids this
+        raise InvalidParameterError(
+            "Lemma 3.3 violated — input graph was likely disconnected"
+        )
+    return np.sort(best_nodes)

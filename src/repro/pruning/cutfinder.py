@@ -1,0 +1,296 @@
+"""Cut finders: the set-search step of `Prune` and `Prune2`.
+
+The paper's algorithms are existential — each iteration asks for *any* set
+``S`` with boundary ratio below a threshold (``|Γ(S)| ≤ α·ε·|S|`` for Prune,
+``|(S, G_i\\S)| ≤ αe·ε·|S|`` for Prune2) and ``|S| ≤ |G_i|/2``.  Finding such
+a set is NP-hard in general, so the search is a pluggable strategy:
+
+* :class:`ExhaustiveCutFinder` — full bitmask enumeration; *complete* (finds
+  a qualifying set whenever one exists).  Used by the integration tests that
+  pin the theorems exactly; limited to ~16 nodes.
+* :class:`SweepCutFinder` — Fiedler sweep + greedy refinement; sound but
+  incomplete (may miss sets, never returns a non-qualifying one).  When it
+  misses, Prune terminates early, which only makes the surviving network
+  *larger* — the size half of the guarantee still holds and the expansion
+  half is re-certified post hoc (see :mod:`repro.pruning.certificates`).
+* :class:`HybridCutFinder` — exhaustive below a size threshold, sweep above.
+
+All finders handle disconnected inputs directly: any connected component of
+size ≤ n/2 has an empty node boundary / edge boundary, i.e. ratio 0, and is
+returned immediately (this is also what makes Prune cull fault-shattered
+fragments first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Protocol
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..graphs.ops import edge_boundary_count, node_boundary_size
+from ..graphs.traversal import component_sizes, connected_components, is_subset_connected
+from ..expansion.local import refine_cut
+from ..expansion.sweep import best_edge_sweep_cut, best_node_sweep_cut
+
+__all__ = [
+    "CutKind",
+    "CutFinder",
+    "FoundCut",
+    "ExhaustiveCutFinder",
+    "SweepCutFinder",
+    "HybridCutFinder",
+    "default_cut_finder",
+]
+
+CutKind = Literal["node", "edge"]
+
+
+@dataclass(frozen=True)
+class FoundCut:
+    """A qualifying set returned by a finder (ids local to the searched graph)."""
+
+    nodes: np.ndarray
+    ratio: float
+    boundary: int
+
+
+class CutFinder(Protocol):
+    """Strategy interface for the Prune/Prune2 set search."""
+
+    def find(
+        self,
+        graph: Graph,
+        threshold: float,
+        kind: CutKind,
+        *,
+        require_connected: bool = False,
+    ) -> Optional[FoundCut]:
+        """Return a set with ratio ≤ ``threshold`` and size ≤ n/2, or None.
+
+        ``require_connected`` restricts the search to connected sets
+        (Prune2's loop condition).
+        """
+        ...  # pragma: no cover
+
+
+def _ratio_of(graph: Graph, nodes: np.ndarray, kind: CutKind) -> tuple[float, int]:
+    if kind == "node":
+        b = node_boundary_size(graph, nodes)
+        return b / nodes.size, b
+    b = edge_boundary_count(graph, nodes)
+    return b / nodes.size, b
+
+
+def _small_component_cut(
+    graph: Graph, threshold: float, kind: CutKind
+) -> Optional[FoundCut]:
+    """If the graph is disconnected, its smallest component is a ratio-0 cut."""
+    labels = connected_components(graph)
+    if labels.size == 0 or labels.max() == 0:
+        return None
+    sizes = component_sizes(labels)
+    smallest = int(np.argmin(sizes))
+    nodes = np.flatnonzero(labels == smallest)
+    if nodes.size > graph.n // 2:  # pragma: no cover - impossible with >=2 comps
+        return None
+    if threshold < 0:
+        return None
+    return FoundCut(nodes=nodes, ratio=0.0, boundary=0)
+
+
+class ExhaustiveCutFinder:
+    """Complete bitmask search (small graphs only).
+
+    Returns the *minimum-ratio* qualifying set, preferring smaller sets on
+    ties so Prune culls as little as possible.
+    """
+
+    def __init__(self, max_nodes: int = 16) -> None:
+        if max_nodes < 1 or max_nodes > 20:
+            raise InvalidParameterError("max_nodes must be in [1, 20]")
+        self.max_nodes = max_nodes
+
+    def find(
+        self,
+        graph: Graph,
+        threshold: float,
+        kind: CutKind,
+        *,
+        require_connected: bool = False,
+    ) -> Optional[FoundCut]:
+        n = graph.n
+        if n == 0:
+            return None
+        if n > self.max_nodes:
+            raise InvalidParameterError(
+                f"ExhaustiveCutFinder limited to {self.max_nodes} nodes, got {n}"
+            )
+        nbr = []
+        for v in range(n):
+            m = 0
+            for u in graph.neighbors(v).tolist():
+                m |= 1 << u
+            nbr.append(m)
+        deg = graph.degrees.tolist()
+        half = n // 2
+        total = 1 << n
+        full = total - 1
+        best: Optional[tuple[float, int, int, int]] = None  # ratio, size, mask, boundary
+        if kind == "node":
+            nbr_of_mask = [0] * total
+            for mask in range(1, total):
+                low = mask & -mask
+                rest = mask ^ low
+                nm = nbr_of_mask[rest] | nbr[low.bit_length() - 1]
+                nbr_of_mask[mask] = nm
+                size = mask.bit_count()
+                if size > half:
+                    continue
+                if require_connected and not _mask_connected(mask, nbr):
+                    continue
+                boundary = (nm & ~mask & full).bit_count()
+                ratio = boundary / size
+                if ratio <= threshold + 1e-12:
+                    key = (ratio, size, mask, boundary)
+                    if best is None or key[:2] < best[:2]:
+                        best = key
+        else:
+            cut_of_mask = [0] * total
+            for mask in range(1, total):
+                low = mask & -mask
+                rest = mask ^ low
+                v = low.bit_length() - 1
+                cut = cut_of_mask[rest] + deg[v] - 2 * (nbr[v] & rest).bit_count()
+                cut_of_mask[mask] = cut
+                size = mask.bit_count()
+                if size > half:
+                    continue
+                if require_connected and not _mask_connected(mask, nbr):
+                    continue
+                ratio = cut / size
+                if ratio <= threshold + 1e-12:
+                    key = (ratio, size, mask, cut)
+                    if best is None or key[:2] < best[:2]:
+                        best = key
+        if best is None:
+            return None
+        ratio, _, mask, boundary = best
+        nodes = np.array([i for i in range(n) if mask >> i & 1], dtype=np.int64)
+        return FoundCut(nodes=nodes, ratio=ratio, boundary=boundary)
+
+
+def _mask_connected(mask: int, nbr: list[int]) -> bool:
+    """Connectivity of the induced subgraph on a bitmask, by bitmask BFS."""
+    low = mask & -mask
+    reached = low
+    while True:
+        frontier = reached
+        grow = reached
+        m = frontier
+        while m:
+            b = m & -m
+            grow |= nbr[b.bit_length() - 1] & mask
+            m ^= b
+        if grow == reached:
+            break
+        reached = grow
+    return reached == mask
+
+
+class SweepCutFinder:
+    """Fiedler-sweep + refinement search (sound, incomplete, scales)."""
+
+    def __init__(self, *, refine: bool = True) -> None:
+        self.refine = refine
+
+    def find(
+        self,
+        graph: Graph,
+        threshold: float,
+        kind: CutKind,
+        *,
+        require_connected: bool = False,
+    ) -> Optional[FoundCut]:
+        if graph.n < 2:
+            return None
+        small = _small_component_cut(graph, threshold, kind)
+        if small is not None:
+            return small
+        # connected graph from here on
+        try:
+            cut = (
+                best_node_sweep_cut(graph) if kind == "node" else best_edge_sweep_cut(graph)
+            )
+        except Exception:
+            return None
+        nodes = cut.nodes
+        if self.refine and nodes.size:
+            nodes = refine_cut(graph, nodes, kind)
+        if nodes.size == 0 or nodes.size > graph.n // 2:
+            return None
+        if require_connected:
+            nodes = _best_connected_piece(graph, nodes, kind)
+            if nodes is None:
+                return None
+        ratio, boundary = _ratio_of(graph, nodes, kind)
+        if ratio <= threshold + 1e-12:
+            return FoundCut(nodes=nodes, ratio=ratio, boundary=boundary)
+        return None
+
+
+def _best_connected_piece(
+    graph: Graph, nodes: np.ndarray, kind: CutKind
+) -> Optional[np.ndarray]:
+    """Best connected component of ``S`` by the scored ratio.
+
+    For the edge ratio this never hurts: the components of ``S`` partition its
+    boundary edges, so the best component's ratio is ≤ S's.  For the node
+    ratio it is a heuristic (boundary nodes may be shared).
+    """
+    sub = graph.subgraph(nodes)
+    labels = connected_components(sub)
+    n_comp = int(labels.max()) + 1 if sub.n else 0
+    if n_comp <= 1:
+        return nodes
+    best_nodes: Optional[np.ndarray] = None
+    best_ratio = float("inf")
+    for lbl in range(n_comp):
+        piece = nodes[np.flatnonzero(labels == lbl)]
+        ratio, _ = _ratio_of(graph, piece, kind)
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_nodes = piece
+    return best_nodes
+
+
+class HybridCutFinder:
+    """Exhaustive below ``exact_threshold`` nodes, sweep otherwise."""
+
+    def __init__(self, exact_threshold: int = 14, *, refine: bool = True) -> None:
+        self.exact_threshold = exact_threshold
+        self._exact = ExhaustiveCutFinder(max_nodes=min(exact_threshold, 20))
+        self._sweep = SweepCutFinder(refine=refine)
+
+    def find(
+        self,
+        graph: Graph,
+        threshold: float,
+        kind: CutKind,
+        *,
+        require_connected: bool = False,
+    ) -> Optional[FoundCut]:
+        if graph.n <= self.exact_threshold:
+            return self._exact.find(
+                graph, threshold, kind, require_connected=require_connected
+            )
+        return self._sweep.find(
+            graph, threshold, kind, require_connected=require_connected
+        )
+
+
+def default_cut_finder() -> HybridCutFinder:
+    """The library default: exact on tiny graphs, sweep at scale."""
+    return HybridCutFinder()

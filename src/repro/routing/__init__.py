@@ -1,0 +1,26 @@
+"""Routing-consequence substrate: stretch, diffusion balancing, congestion."""
+
+from .flow import RoutingLoad, route_permutation
+from .loadbalance import (
+    DiffusionResult,
+    diffusion_rounds_to_balance,
+    diffusion_step_matrix,
+)
+from .paths import (
+    StretchStats,
+    expansion_distance_bound,
+    sampled_diameter,
+    stretch_statistics,
+)
+
+__all__ = [
+    "StretchStats",
+    "stretch_statistics",
+    "sampled_diameter",
+    "expansion_distance_bound",
+    "DiffusionResult",
+    "diffusion_rounds_to_balance",
+    "diffusion_step_matrix",
+    "RoutingLoad",
+    "route_permutation",
+]

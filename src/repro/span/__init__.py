@@ -1,0 +1,37 @@
+"""The span parameter (Eq. 1) and the mesh span-2 construction (Thm 3.6)."""
+
+from .compact_enum import ENUM_MAX_NODES, enumerate_compact_sets, random_compact_set
+from .conjectures import SpanSurvey, survey_span
+from .mesh_tree import (
+    MeshTreeResult,
+    mesh_boundary_tree,
+    virtual_edge_graph_connected,
+    virtual_edges,
+)
+from .span import SpanResult, SpanSample, span_exact, span_sampled
+from .steiner import (
+    DW_MAX_TERMINALS,
+    approx_steiner_tree,
+    steiner_tree_size,
+    steiner_tree_size_exact,
+)
+
+__all__ = [
+    "enumerate_compact_sets",
+    "random_compact_set",
+    "ENUM_MAX_NODES",
+    "SpanSurvey",
+    "survey_span",
+    "SpanResult",
+    "SpanSample",
+    "span_exact",
+    "span_sampled",
+    "steiner_tree_size",
+    "steiner_tree_size_exact",
+    "approx_steiner_tree",
+    "DW_MAX_TERMINALS",
+    "MeshTreeResult",
+    "mesh_boundary_tree",
+    "virtual_edges",
+    "virtual_edge_graph_connected",
+]

@@ -1,0 +1,100 @@
+"""Span sampling for the paper's open-problem networks.
+
+Section 4 (open problems): *"We conjecture that the butterfly,
+shuffle-exchange, and deBruijn network all have a span of O(1), which means
+that they can tolerate a constant fault probability."*
+
+This module implements the measurement side of that conjecture: sampled
+span ratios over random compact sets for any graph, with the Steiner tree
+solved exactly when the boundary is small and 2-approximated otherwise.
+Sampled ratios are *lower* bounds on the true span when exact and
+estimates otherwise; a family whose sampled ratios stay flat as the size
+grows is consistent with O(1) span (no proof — evidence, exactly what an
+experimental companion to an open problem can offer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.ops import node_boundary
+from ..graphs.traversal import is_connected, largest_component
+from ..util.rng import SeedLike, spawn
+from .compact_enum import random_compact_set
+from .steiner import approx_steiner_tree, steiner_tree_size_exact
+
+__all__ = ["SpanSurvey", "survey_span"]
+
+
+@dataclass(frozen=True)
+class SpanSurvey:
+    """Sampled span statistics for one graph."""
+
+    graph_name: str
+    n: int
+    max_ratio: float
+    mean_ratio: float
+    p95_ratio: float
+    n_samples: int
+    exact_fraction: float  # fraction of samples solved with exact Steiner
+
+    def row(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "n": self.n,
+            "samples": self.n_samples,
+            "span_max": round(self.max_ratio, 4),
+            "span_mean": round(self.mean_ratio, 4),
+            "span_p95": round(self.p95_ratio, 4),
+            "exact_frac": round(self.exact_fraction, 3),
+        }
+
+
+def survey_span(
+    graph: Graph,
+    *,
+    n_samples: int = 40,
+    seed: SeedLike = None,
+    exact_boundary_limit: int = 8,
+    exact_graph_limit: int = 200,
+) -> SpanSurvey:
+    """Sample compact sets of ``graph`` and report span-ratio statistics.
+
+    Disconnected graphs are surveyed on their largest component (relevant
+    for the symmetrised de Bruijn graph at small orders).
+    """
+    g = graph
+    if not is_connected(g):
+        g = g.subgraph(largest_component(g))
+    rngs = spawn(seed, max(4 * n_samples, 16))
+    ratios: List[float] = []
+    exact_count = 0
+    i = 0
+    while len(ratios) < n_samples and i < len(rngs):
+        u = random_compact_set(g, seed=rngs[i])
+        i += 1
+        if u is None:
+            continue
+        boundary = node_boundary(g, u)
+        if boundary.size == 0:
+            continue
+        if boundary.size <= exact_boundary_limit and g.n <= exact_graph_limit:
+            tree = steiner_tree_size_exact(g, boundary)
+            exact_count += 1
+        else:
+            tree = int(approx_steiner_tree(g, boundary).shape[0])
+        ratios.append(tree / boundary.size)
+    arr = np.asarray(ratios) if ratios else np.array([np.nan])
+    return SpanSurvey(
+        graph_name=graph.name,
+        n=graph.n,
+        max_ratio=float(np.max(arr)),
+        mean_ratio=float(np.mean(arr)),
+        p95_ratio=float(np.percentile(arr, 95)),
+        n_samples=len(ratios),
+        exact_fraction=exact_count / max(len(ratios), 1),
+    )

@@ -1,0 +1,200 @@
+"""The constructive boundary tree of Theorem 3.6 for d-dimensional meshes.
+
+Theorem 3.6 proves the d-dimensional mesh has span ≤ 2 via a construction:
+
+1. Let ``B = Γ(S)`` be the boundary of a compact set ``S``.  Place a
+   *virtual edge* between distinct ``u, v ∈ B`` whenever they agree in at
+   least ``d − 2`` coordinates and differ by at most 1 in the rest —
+   i.e. Chebyshev distance ≤ 1 with at most two differing coordinates.
+2. Lemma 3.7 (a Z₂-homology argument): the virtual-edge graph ``(B, Ev)`` is
+   **connected** for every compact ``S``.
+3. A spanning tree of ``(B, Ev)`` has ``|B| − 1`` virtual edges; each virtual
+   edge is realised by at most 2 mesh edges (adjacent pairs directly,
+   diagonal pairs through a shared corner neighbour, which always exists in
+   the full grid box spanned by the two endpoints).  The union is a connected
+   subgraph of the mesh on at most ``2·|B| − 1`` nodes containing ``B``,
+   hence ``|P(U)| ≤ 2|B| − 1 < 2|B|``.
+
+:func:`mesh_boundary_tree` performs the construction and reports the ratio,
+giving the experiments a *certified* ≤-2 witness per compact set without
+solving Steiner instances.  :func:`virtual_edge_graph_connected` checks
+Lemma 3.7's claim in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..graphs.ops import node_boundary
+from ..graphs.traversal import is_subset_connected
+from ..util.unionfind import UnionFind
+
+__all__ = [
+    "MeshTreeResult",
+    "virtual_edges",
+    "virtual_edge_graph_connected",
+    "mesh_boundary_tree",
+]
+
+
+@dataclass(frozen=True)
+class MeshTreeResult:
+    """Outcome of the Theorem 3.6 construction on one compact set."""
+
+    boundary: np.ndarray
+    tree_nodes: np.ndarray
+    virtual_connected: bool
+
+    @property
+    def ratio(self) -> float:
+        """``|P(U)| / |Γ(U)|`` for the constructed (not nec. optimal) tree."""
+        return self.tree_nodes.shape[0] / self.boundary.shape[0]
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the constructed tree respects ``|P(U)| ≤ 2·|B| − 1``."""
+        return self.tree_nodes.shape[0] <= 2 * self.boundary.shape[0] - 1
+
+
+def _coord_requirements(graph: Graph) -> np.ndarray:
+    if graph.coords is None:
+        raise InvalidParameterError("mesh constructions require coordinate metadata")
+    return np.asarray(graph.coords, dtype=np.int64)
+
+
+def virtual_edges(graph: Graph, boundary: np.ndarray) -> List[Tuple[int, int]]:
+    """Virtual edge list on the boundary (pairs of *graph* node ids).
+
+    ``u ~ v`` iff their coordinates differ in at most 2 dimensions and by at
+    most 1 in each.  Implemented by hashing boundary coordinates and probing
+    the ≤ ``2d + 4·C(d,2)`` admissible offsets per node — O(|B|·d²), not
+    O(|B|²).
+    """
+    coords = _coord_requirements(graph)
+    b = np.asarray(boundary, dtype=np.int64)
+    lookup: Dict[Tuple[int, ...], int] = {
+        tuple(coords[v].tolist()): int(v) for v in b
+    }
+    d = coords.shape[1]
+    offsets: List[Tuple[int, ...]] = []
+    for axis in range(d):
+        for step in (-1, 1):
+            off = [0] * d
+            off[axis] = step
+            offsets.append(tuple(off))
+    for a1, a2 in combinations(range(d), 2):
+        for s1, s2 in product((-1, 1), repeat=2):
+            off = [0] * d
+            off[a1], off[a2] = s1, s2
+            offsets.append(tuple(off))
+    edges: List[Tuple[int, int]] = []
+    for v in b.tolist():
+        cv = coords[v]
+        for off in offsets:
+            key = tuple((cv + np.asarray(off)).tolist())
+            u = lookup.get(key)
+            if u is not None and u > v:
+                edges.append((v, u))
+    return edges
+
+
+def virtual_edge_graph_connected(graph: Graph, boundary: np.ndarray) -> bool:
+    """Lemma 3.7's claim: is ``(B, Ev)`` connected?"""
+    b = np.asarray(boundary, dtype=np.int64)
+    if b.size <= 1:
+        return True
+    index = {int(v): i for i, v in enumerate(b.tolist())}
+    uf = UnionFind(b.size)
+    for u, v in virtual_edges(graph, b):
+        uf.union(index[u], index[v])
+    return uf.n_sets == 1
+
+
+def _realize_virtual_edge(
+    graph: Graph, coords: np.ndarray, u: int, v: int
+) -> Optional[int]:
+    """Mesh node realising a diagonal virtual edge (common neighbour of u, v),
+    or ``None`` when ``u`` and ``v`` are already mesh-adjacent."""
+    cu, cv = coords[u], coords[v]
+    diff_axes = np.flatnonzero(cu != cv)
+    if diff_axes.size == 1:
+        return None  # direct mesh edge
+    # two corner candidates; both coordinate tuples lie in the grid box of
+    # (cu, cv), so at least one exists in the mesh — probe via coords hash
+    a1, a2 = int(diff_axes[0]), int(diff_axes[1])
+    corner1 = cu.copy()
+    corner1[a1] = cv[a1]
+    corner2 = cu.copy()
+    corner2[a2] = cv[a2]
+    return _lookup_node(graph, coords, corner1, corner2)
+
+
+_COORD_CACHE: dict[int, Dict[Tuple[int, ...], int]] = {}
+
+
+def _lookup_node(
+    graph: Graph, coords: np.ndarray, *candidates: np.ndarray
+) -> Optional[int]:
+    key = id(graph)
+    table = _COORD_CACHE.get(key)
+    if table is None or len(table) != graph.n:
+        table = {tuple(coords[v].tolist()): v for v in range(graph.n)}
+        _COORD_CACHE.clear()  # keep at most one graph's table resident
+        _COORD_CACHE[key] = table
+    for cand in candidates:
+        v = table.get(tuple(cand.tolist()))
+        if v is not None:
+            return int(v)
+    return None
+
+
+def mesh_boundary_tree(graph: Graph, compact_set: np.ndarray) -> MeshTreeResult:
+    """Run the Theorem 3.6 construction for one compact set.
+
+    Parameters
+    ----------
+    graph:
+        A mesh (or torus) with coordinate metadata.
+    compact_set:
+        Node ids of a compact set ``S`` (compactness is the caller's
+        responsibility; Lemma 3.7's connectivity claim is *checked* and
+        reported, not assumed).
+
+    Returns
+    -------
+    MeshTreeResult
+        Boundary, the realised tree's node set, and whether the virtual
+        graph was connected.
+    """
+    coords = _coord_requirements(graph)
+    s = np.asarray(compact_set, dtype=np.int64)
+    boundary = node_boundary(graph, s)
+    if boundary.size == 0:
+        raise InvalidParameterError("compact set has an empty boundary")
+    if boundary.size == 1:
+        return MeshTreeResult(
+            boundary=boundary, tree_nodes=boundary.copy(), virtual_connected=True
+        )
+    index = {int(v): i for i, v in enumerate(boundary.tolist())}
+    ev = virtual_edges(graph, boundary)
+    # spanning forest of (B, Ev) via union-find; realise accepted edges only
+    uf = UnionFind(boundary.size)
+    tree_nodes = set(boundary.tolist())
+    accepted = 0
+    for u, v in ev:
+        if uf.union(index[u], index[v]):
+            accepted += 1
+            bridge = _realize_virtual_edge(graph, coords, u, v)
+            if bridge is not None:
+                tree_nodes.add(int(bridge))
+    connected = uf.n_sets == 1
+    nodes = np.array(sorted(tree_nodes), dtype=np.int64)
+    return MeshTreeResult(
+        boundary=boundary, tree_nodes=nodes, virtual_connected=connected
+    )

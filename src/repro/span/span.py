@@ -1,0 +1,145 @@
+"""The span of a graph (Equation 1 of the paper).
+
+    σ = max over compact U of |P(U)| / |Γ(U)|
+
+where ``P(U)`` is a smallest tree connecting every node of the boundary
+``Γ(U)`` (node count) — the tree may use nodes from either side of the cut.
+By definition ``σ ≥ 1`` (a tree on ``b`` terminals has ≥ ``b`` nodes).
+
+Two computations:
+
+* :func:`span_exact` — enumerate all compact sets (small graphs) and solve
+  each boundary's Steiner tree exactly.  Used to verify Theorem 3.6's
+  ``σ(mesh) ≤ 2`` on exhaustively checkable instances.
+* :func:`span_sampled` — sample compact sets at scale; each sample's ratio is
+  a certified *lower* bound on σ when the Steiner solver is exact, and an
+  estimate otherwise.  Reports the max and the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError, NotConnectedError
+from ..graphs.graph import Graph
+from ..graphs.ops import node_boundary
+from ..graphs.traversal import is_connected
+from ..util.rng import SeedLike, as_generator, spawn
+from .compact_enum import enumerate_compact_sets, random_compact_set
+from .steiner import (
+    DW_MAX_TERMINALS,
+    approx_steiner_tree,
+    steiner_tree_size_exact,
+)
+
+__all__ = ["SpanResult", "SpanSample", "span_exact", "span_sampled"]
+
+
+@dataclass(frozen=True)
+class SpanResult:
+    """Exact span with an extremal witness."""
+
+    value: float
+    witness: np.ndarray  # the compact set achieving the max
+    boundary_size: int
+    tree_size: int
+    exact: bool
+
+
+@dataclass(frozen=True)
+class SpanSample:
+    """One sampled compact set's span ratio."""
+
+    ratio: float
+    set_size: int
+    boundary_size: int
+    tree_size: int
+
+
+def span_exact(graph: Graph, *, max_nodes: int = 14) -> SpanResult:
+    """Exact span by full compact-set enumeration (small connected graphs).
+
+    Every compact set's boundary is solved with Dreyfus–Wagner when its size
+    permits (≤ :data:`~repro.span.steiner.DW_MAX_TERMINALS`); larger
+    boundaries fall back to the 2-approximation and mark the result
+    approximate (`exact=False`).
+    """
+    if not is_connected(graph):
+        raise NotConnectedError("span is defined for connected graphs")
+    if graph.n < 3:
+        raise InvalidParameterError("span needs at least 3 nodes")
+    best: Optional[SpanResult] = None
+    all_exact = True
+    for u in enumerate_compact_sets(graph, max_nodes=max_nodes):
+        boundary = node_boundary(graph, u)
+        if boundary.size == 0:  # pragma: no cover - impossible when connected
+            continue
+        if boundary.size <= DW_MAX_TERMINALS:
+            tree = steiner_tree_size_exact(graph, boundary)
+            exact = True
+        else:
+            tree = int(approx_steiner_tree(graph, boundary).shape[0])
+            exact = False
+            all_exact = False
+        ratio = tree / boundary.size
+        if best is None or ratio > best.value:
+            best = SpanResult(
+                value=ratio,
+                witness=u,
+                boundary_size=int(boundary.size),
+                tree_size=tree,
+                exact=exact,
+            )
+    assert best is not None  # a connected graph on >= 3 nodes has compact sets
+    return SpanResult(
+        value=best.value,
+        witness=best.witness,
+        boundary_size=best.boundary_size,
+        tree_size=best.tree_size,
+        exact=all_exact,
+    )
+
+
+def span_sampled(
+    graph: Graph,
+    *,
+    n_samples: int = 64,
+    seed: SeedLike = None,
+    target_sizes: Optional[List[int]] = None,
+) -> List[SpanSample]:
+    """Sample compact sets and score their span ratios.
+
+    Returns the accepted samples (may be fewer than ``n_samples`` if
+    compactness rejections bite).  ``max(s.ratio for s in samples)`` is the
+    sampled span estimate.
+    """
+    if not is_connected(graph):
+        raise NotConnectedError("span is defined for connected graphs")
+    rngs = spawn(seed, n_samples)
+    samples: List[SpanSample] = []
+    for i in range(n_samples):
+        size = None
+        if target_sizes:
+            size = int(target_sizes[i % len(target_sizes)])
+        u = random_compact_set(graph, target_size=size, seed=rngs[i])
+        if u is None:
+            continue
+        boundary = node_boundary(graph, u)
+        if boundary.size == 0:
+            continue
+        if boundary.size <= 8 and graph.n <= 128:
+            tree = steiner_tree_size_exact(graph, boundary)
+        else:
+            tree = int(approx_steiner_tree(graph, boundary).shape[0])
+        samples.append(
+            SpanSample(
+                ratio=tree / boundary.size,
+                set_size=int(u.size),
+                boundary_size=int(boundary.size),
+                tree_size=tree,
+            )
+        )
+    return samples

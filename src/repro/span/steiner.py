@@ -1,0 +1,187 @@
+"""Steiner trees in unweighted graphs.
+
+The span (Equation 1 of the paper) needs ``|P(U)|`` — the number of nodes of
+a *smallest tree connecting every node of Γ(U)*, i.e. a Steiner minimal tree
+with terminal set ``Γ(U)``.  Two engines:
+
+* :func:`steiner_tree_size_exact` — the Dreyfus–Wagner dynamic program,
+  ``O(3^t·n + 2^t·n²)`` for ``t`` terminals: exact, used for span-exact
+  computations where boundaries are small (``t ≤ ~12``);
+* :func:`approx_steiner_tree` — the classic metric-closure MST
+  2-approximation with leaf pruning: builds the complete graph on terminals
+  under BFS distance, takes its MST, realises each MST edge as a shortest
+  path, and strips non-terminal leaves from the union.  Used for sampled
+  span estimates at scale (any upper bound on ``|P(U)|`` only *raises* the
+  sampled span, so approximation keeps the ≤-2 mesh check honest via the
+  constructive tree of Theorem 3.6 instead).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import InvalidParameterError, NotConnectedError
+from ..graphs.graph import Graph, neighbors_of_many
+from ..graphs.traversal import bfs_distances, bfs_tree
+
+__all__ = [
+    "steiner_tree_size_exact",
+    "approx_steiner_tree",
+    "steiner_tree_size",
+    "DW_MAX_TERMINALS",
+]
+
+#: Dreyfus–Wagner is exponential in the terminal count; cap it.
+DW_MAX_TERMINALS = 13
+
+
+def _check_terminals(graph: Graph, terminals: np.ndarray) -> np.ndarray:
+    t = np.unique(np.asarray(terminals, dtype=np.int64))
+    if t.size == 0:
+        raise InvalidParameterError("need at least one terminal")
+    if t.min() < 0 or t.max() >= graph.n:
+        raise InvalidParameterError(f"terminal ids outside [0, {graph.n})")
+    return t
+
+
+def steiner_tree_size_exact(graph: Graph, terminals: np.ndarray) -> int:
+    """Exact Steiner minimal tree size in **nodes** (Dreyfus–Wagner).
+
+    Raises
+    ------
+    NotConnectedError
+        If the terminals are not mutually reachable.
+    InvalidParameterError
+        If more than :data:`DW_MAX_TERMINALS` terminals are given.
+    """
+    term = _check_terminals(graph, terminals)
+    t = term.shape[0]
+    if t == 1:
+        return 1
+    if t > DW_MAX_TERMINALS:
+        raise InvalidParameterError(
+            f"Dreyfus–Wagner limited to {DW_MAX_TERMINALS} terminals, got {t}"
+        )
+    n = graph.n
+    # distances from every node (needed by the 'grow' transition); n BFS runs
+    dist = np.empty((n, n), dtype=np.int64)
+    for v in range(n):
+        dist[v] = bfs_distances(graph, v)
+    if np.any(dist[term[0], term] < 0):
+        raise NotConnectedError("terminals are not in one connected component")
+    INF = np.iinfo(np.int64).max // 4
+    dist_safe = np.where(dist < 0, INF, dist)
+    full = (1 << t) - 1
+    # dp[S][v] = min edge count of a tree spanning {terminals in S} ∪ {v}
+    dp = np.full((full + 1, n), INF, dtype=np.int64)
+    for i in range(t):
+        dp[1 << i] = dist_safe[term[i]]
+    for s in range(1, full + 1):
+        if s & (s - 1) == 0:
+            continue  # singletons initialised above
+        # merge transition: split S into S' and S \ S' at the same vertex
+        sub = (s - 1) & s
+        best = dp[s]
+        while sub:
+            comp = s ^ sub
+            if sub < comp:  # each unordered split once
+                cand = dp[sub] + dp[comp]
+                np.minimum(best, cand, out=best)
+            sub = (sub - 1) & s
+        # grow transition: attach v via a shortest path from u
+        # dp[s][v] = min_u dp[s][u] + dist(u, v)
+        grown = np.min(dp[s][None, :].T + dist_safe, axis=0)
+        np.minimum(best, grown, out=best)
+        dp[s] = best
+    edges = int(dp[full][term[0]])
+    if edges >= INF:
+        raise NotConnectedError("terminals are not connected")
+    return edges + 1
+
+
+def approx_steiner_tree(graph: Graph, terminals: np.ndarray) -> np.ndarray:
+    """2-approximate Steiner tree: sorted node ids of the tree.
+
+    Metric-closure MST realised by BFS paths, followed by leaf pruning of
+    non-terminal leaves (which can only shrink the tree).
+    """
+    term = _check_terminals(graph, terminals)
+    t = term.shape[0]
+    if t == 1:
+        return term
+    # BFS from each terminal: distances + parents for path realisation
+    dists = np.empty((t, graph.n), dtype=np.int64)
+    parents = np.empty((t, graph.n), dtype=np.int64)
+    for i, v in enumerate(term.tolist()):
+        dists[i] = bfs_distances(graph, v)
+        parents[i] = bfs_tree(graph, v)
+    dterm = dists[:, term]
+    if np.any(dterm < 0):
+        raise NotConnectedError("terminals are not in one connected component")
+    # Prim's MST over the terminal metric closure
+    in_tree = np.zeros(t, dtype=bool)
+    in_tree[0] = True
+    best_dist = dterm[0].copy()
+    best_src = np.zeros(t, dtype=np.int64)
+    mst_edges: List[tuple[int, int]] = []
+    for _ in range(t - 1):
+        cand = np.where(in_tree, np.iinfo(np.int64).max, best_dist)
+        j = int(np.argmin(cand))
+        mst_edges.append((int(best_src[j]), j))
+        in_tree[j] = True
+        closer = dterm[j] < best_dist
+        best_dist = np.where(closer, dterm[j], best_dist)
+        best_src = np.where(closer, j, best_src)
+    # realise MST edges as BFS paths from the source terminal's tree
+    node_set = set(term.tolist())
+    for i, j in mst_edges:
+        v = int(term[j])
+        par = parents[i]
+        while par[v] != v:
+            node_set.add(v)
+            v = int(par[v])
+        node_set.add(v)
+    nodes = np.array(sorted(node_set), dtype=np.int64)
+    return _prune_leaves(graph, nodes, term)
+
+
+def _prune_leaves(graph: Graph, nodes: np.ndarray, terminals: np.ndarray) -> np.ndarray:
+    """Iteratively remove non-terminal degree-1 nodes of a spanning tree of
+    the induced subgraph on ``nodes``."""
+    sub = graph.subgraph(nodes)
+    # build a spanning tree of the (connected) union via BFS parents
+    par = bfs_tree(sub, 0)
+    tree_deg = np.zeros(sub.n, dtype=np.int64)
+    for v in range(1, sub.n):
+        p = par[v]
+        if p >= 0 and p != v:
+            tree_deg[v] += 1
+            tree_deg[p] += 1
+    is_term = np.zeros(sub.n, dtype=bool)
+    term_pos = np.searchsorted(nodes, terminals)
+    is_term[term_pos] = True
+    alive = np.ones(sub.n, dtype=bool)
+    changed = True
+    while changed:
+        changed = False
+        leaves = np.flatnonzero(alive & ~is_term & (tree_deg == 1))
+        for v in leaves.tolist():
+            alive[v] = False
+            tree_deg[v] = 0
+            p = par[v]
+            if p >= 0 and p != v and alive[p]:
+                tree_deg[p] -= 1
+            changed = True
+    return nodes[alive]
+
+
+def steiner_tree_size(graph: Graph, terminals: np.ndarray) -> int:
+    """Steiner tree size in nodes: exact when the terminal count permits,
+    2-approximate otherwise."""
+    term = _check_terminals(graph, terminals)
+    # The DP is O(3^t·n + 2^t·n²): affordable only when both factors are small.
+    if term.shape[0] <= 8 and graph.n <= 128:
+        return steiner_tree_size_exact(graph, term)
+    return int(approx_steiner_tree(graph, term).shape[0])

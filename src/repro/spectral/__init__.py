@@ -1,0 +1,17 @@
+"""Spectral toolkit: Laplacians, Fiedler vectors, Cheeger bounds."""
+
+from .cheeger import CheegerBounds, cheeger_bounds
+from .eigen import DENSE_CUTOFF, SpectralInfo, fiedler_vector, spectral_gap
+from .laplacian import adjacency_matrix, laplacian_matrix, normalized_laplacian
+
+__all__ = [
+    "adjacency_matrix",
+    "laplacian_matrix",
+    "normalized_laplacian",
+    "SpectralInfo",
+    "fiedler_vector",
+    "spectral_gap",
+    "DENSE_CUTOFF",
+    "CheegerBounds",
+    "cheeger_bounds",
+]

@@ -1,0 +1,38 @@
+"""Shared utilities: RNG normalisation, union-find, validation, tables, timing."""
+
+from .rng import SeedLike, as_generator, random_subset, spawn
+from .tables import fmt_float, format_row_dicts, format_table
+from .timing import StageTimer, Timer
+from .unionfind import UnionFind
+from .parallel import chunked_map, effective_workers
+from .validation import (
+    check_fraction,
+    check_in_range,
+    check_node_array,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn",
+    "random_subset",
+    "UnionFind",
+    "Timer",
+    "StageTimer",
+    "format_table",
+    "format_row_dicts",
+    "fmt_float",
+    "chunked_map",
+    "effective_workers",
+    "check_probability",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_fraction",
+    "check_in_range",
+    "check_node_array",
+    "require",
+]

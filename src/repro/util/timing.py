@@ -1,0 +1,75 @@
+"""Lightweight timing utilities for experiment harnesses.
+
+The benchmark suite uses pytest-benchmark for kernel timings; these helpers
+serve the *experiment* code paths (tables, sweeps) where we want elapsed-time
+bookkeeping without a framework dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Timer", "StageTimer"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Use either as a context manager (accumulates on exit) or via explicit
+    :meth:`start` / :meth:`stop` calls.
+    """
+
+    elapsed: float = 0.0
+    _t0: float | None = None
+
+    def start(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimer:
+    """Named-stage timer for multi-phase experiments.
+
+    Example
+    -------
+    >>> stages = StageTimer()
+    >>> with stages.stage("faults"):
+    ...     pass
+    >>> with stages.stage("prune"):
+    ...     pass
+    >>> sorted(stages.elapsed)  # doctest: +ELLIPSIS
+    ['faults', 'prune']
+    """
+
+    elapsed: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.elapsed[name] = self.elapsed.get(name, 0.0) + time.perf_counter() - t0
+
+    def summary(self) -> str:
+        """One-line ``name=seconds`` summary, sorted by descending cost."""
+        parts = sorted(self.elapsed.items(), key=lambda kv: -kv[1])
+        return " ".join(f"{k}={v:.3f}s" for k, v in parts)

@@ -1,0 +1,118 @@
+"""Input validation helpers shared across the library.
+
+These are small and deliberately strict: experiments that silently accept a
+probability of 1.3 or a negative budget produce plausible-looking garbage,
+which is the worst failure mode for a reproduction study.  Each helper raises
+:class:`~repro.errors.InvalidParameterError` with a message naming the
+offending argument.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "require",
+    "check_probability",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_fraction",
+    "check_node_array",
+    "check_in_range",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`InvalidParameterError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+def check_probability(p: float, name: str = "p") -> float:
+    """Validate that ``p`` is a real number in ``[0, 1]`` and return it as float."""
+    try:
+        value = float(p)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a real number, got {p!r}") from exc
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise InvalidParameterError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_positive_int(x: int, name: str = "value") -> int:
+    """Validate that ``x`` is an integer >= 1 and return it as ``int``."""
+    if not isinstance(x, (int, np.integer)) or isinstance(x, bool):
+        raise InvalidParameterError(f"{name} must be an int, got {type(x).__name__}")
+    if x < 1:
+        raise InvalidParameterError(f"{name} must be >= 1, got {x}")
+    return int(x)
+
+
+def check_nonnegative_int(x: int, name: str = "value") -> int:
+    """Validate that ``x`` is an integer >= 0 and return it as ``int``."""
+    if not isinstance(x, (int, np.integer)) or isinstance(x, bool):
+        raise InvalidParameterError(f"{name} must be an int, got {type(x).__name__}")
+    if x < 0:
+        raise InvalidParameterError(f"{name} must be >= 0, got {x}")
+    return int(x)
+
+
+def check_fraction(x: float, name: str = "fraction", *, closed_left: bool = False) -> float:
+    """Validate a fraction in ``(0, 1]`` (or ``[0, 1]`` with ``closed_left``)."""
+    try:
+        value = float(x)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a real number, got {x!r}") from exc
+    lo_ok = value >= 0.0 if closed_left else value > 0.0
+    if not np.isfinite(value) or not lo_ok or value > 1.0:
+        interval = "[0, 1]" if closed_left else "(0, 1]"
+        raise InvalidParameterError(f"{name} must lie in {interval}, got {value}")
+    return value
+
+
+def check_in_range(
+    x: float, lo: float, hi: float, name: str = "value", *, integer: bool = False
+) -> float:
+    """Validate ``lo <= x <= hi``; returns ``int(x)`` when ``integer``."""
+    if integer and (not isinstance(x, (int, np.integer)) or isinstance(x, bool)):
+        raise InvalidParameterError(f"{name} must be an int, got {type(x).__name__}")
+    value = float(x)
+    if not np.isfinite(value) or not lo <= value <= hi:
+        raise InvalidParameterError(f"{name} must lie in [{lo}, {hi}], got {x}")
+    return int(value) if integer else value
+
+
+def check_node_array(
+    nodes: Iterable[int] | np.ndarray,
+    n: int,
+    name: str = "nodes",
+    *,
+    allow_empty: bool = True,
+    unique: bool = True,
+) -> np.ndarray:
+    """Validate and canonicalise an array of node ids against a graph of size ``n``.
+
+    Returns a sorted ``int64`` array.  Checks bounds, integrality and
+    (optionally) uniqueness.
+    """
+    arr = np.asarray(list(nodes) if not isinstance(nodes, np.ndarray) else nodes)
+    if arr.size == 0:
+        if not allow_empty:
+            raise InvalidParameterError(f"{name} must be non-empty")
+        return np.empty(0, dtype=np.int64)
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == arr.astype(np.int64)):
+            arr = arr.astype(np.int64)
+        else:
+            raise InvalidParameterError(f"{name} must contain integers")
+    arr = arr.astype(np.int64).ravel()
+    if arr.min(initial=0) < 0 or (arr.size and arr.max() >= n):
+        raise InvalidParameterError(f"{name} contains ids outside [0, {n})")
+    arr = np.sort(arr)
+    if unique and arr.size > 1 and np.any(arr[1:] == arr[:-1]):
+        raise InvalidParameterError(f"{name} contains duplicate node ids")
+    return arr

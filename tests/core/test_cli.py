@@ -1,0 +1,40 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.experiments import ALL_EXPERIMENTS
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in ALL_EXPERIMENTS:
+            assert key in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "e1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["e99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["e2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out
+        assert "alpha_times_k" in out
+
+    def test_seed_changes_output_not_structure(self, capsys):
+        main(["e2", "--seed", "1"])
+        out1 = capsys.readouterr().out
+        main(["e2", "--seed", "2"])
+        out2 = capsys.readouterr().out
+        assert out1.splitlines()[1] == out2.splitlines()[1]  # same header
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+        }

@@ -1,0 +1,149 @@
+"""Unit tests for theory bounds, the analyzer facade, and reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import FaultExpansionAnalyzer, bounds
+from repro.errors import InvalidParameterError
+from repro.faults.adversary import separator_attack
+from repro.graphs.generators import cycle_graph, expander, torus
+from repro.graphs.graph import Graph
+
+
+class TestBounds:
+    def test_prune_surviving_size(self):
+        assert bounds.prune_surviving_size(100, 10, 0.5, 2) == pytest.approx(60)
+
+    def test_prune_expansion(self):
+        assert bounds.prune_expansion(0.6, 3) == pytest.approx(0.4)
+
+    def test_prune_max_faults_condition(self):
+        f = bounds.prune_max_faults(100, 0.5, 2)
+        assert 2 * f / 0.5 <= 100 / 4 + 1e-9
+
+    def test_chain_graph_size(self):
+        assert bounds.chain_graph_size(10, 20, 4) == 90
+
+    def test_chain_expansion_bounds_order(self):
+        lo, hi = bounds.chain_expansion_bounds(8, 4, 0.5)
+        assert 0 < lo < hi
+
+    def test_chain_attack_component_bound(self):
+        assert bounds.chain_attack_component_bound(4, 8) == 4 * 4 + 4 + 1
+
+    def test_theorem25_shape(self):
+        b1 = bounds.theorem25_fault_bound(1000, 0.1, 0.25)
+        b2 = bounds.theorem25_fault_bound(1000, 0.1, 0.125)
+        assert b2 > b1  # smaller epsilon costs more faults
+
+    def test_theorem31_probability(self):
+        p = bounds.theorem31_fault_probability(0.1, 0.5, 4)
+        assert p == pytest.approx(3 * math.log(4) / 0.5 * 0.1)
+
+    def test_theorem34_conditions(self):
+        c = bounds.theorem34_conditions(1000, 4, 2.0)
+        assert c["epsilon_max"] == pytest.approx(1 / 8)
+        assert c["p_max"] == pytest.approx(1 / (2 * math.e * 4**8))
+        assert c["alpha_e_min"] > 0
+
+    def test_mesh_bounds(self):
+        assert bounds.mesh_span_bound() == 2.0
+        assert bounds.mesh_tolerable_fault_probability(2) > \
+            bounds.mesh_tolerable_fault_probability(3)
+
+    def test_distance_bound(self):
+        assert bounds.distance_bound(0.5, 1024) > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            bounds.prune_surviving_size(10, 1, 0, 2)
+        with pytest.raises(InvalidParameterError):
+            bounds.theorem25_fault_bound(10, 0.5, 0)
+        with pytest.raises(InvalidParameterError):
+            bounds.mesh_tolerable_fault_probability(0)
+        with pytest.raises(InvalidParameterError):
+            bounds.theorem31_fault_probability(0.1, 0.5, 1)
+
+
+class TestAnalyzer:
+    def test_baseline_cached(self, small_torus):
+        an = FaultExpansionAnalyzer(small_torus)
+        a = an.baseline_expansion
+        b = an.baseline_expansion
+        assert a is b
+
+    def test_random_faults_report(self, small_torus):
+        an = FaultExpansionAnalyzer(small_torus)
+        rep = an.random_faults(0.05, seed=0)
+        assert rep.n_original == small_torus.n
+        assert 0 <= rep.surviving_fraction <= 1
+        assert rep.scenario.kind.startswith("random")
+
+    def test_zero_faults_full_retention(self, small_torus):
+        an = FaultExpansionAnalyzer(small_torus)
+        rep = an.random_faults(0.0, seed=0)
+        assert rep.surviving_fraction == 1.0
+        assert rep.expansion_retention == pytest.approx(1.0)
+
+    def test_adversarial_entry_point(self, small_torus):
+        an = FaultExpansionAnalyzer(small_torus)
+        rep = an.adversarial_faults(np.array([0, 1, 2]))
+        assert rep.scenario.f == 3
+
+    def test_scenario_graph_mismatch_rejected(self, small_torus):
+        an = FaultExpansionAnalyzer(small_torus)
+        other = torus(5, 2)
+        sc = separator_attack(other, 2)
+        with pytest.raises(InvalidParameterError):
+            an.analyze_scenario(sc)
+
+    def test_edge_mode(self, small_torus):
+        an = FaultExpansionAnalyzer(small_torus, mode="edge")
+        rep = an.random_faults(0.03, seed=1)
+        assert rep.prune_result.kind == "edge"
+        assert an.epsilon == pytest.approx(1 / (2 * small_torus.max_degree))
+
+    def test_bad_mode(self, small_torus):
+        with pytest.raises(InvalidParameterError):
+            FaultExpansionAnalyzer(small_torus, mode="both")  # type: ignore[arg-type]
+
+    def test_bad_epsilon(self, small_torus):
+        with pytest.raises(InvalidParameterError):
+            FaultExpansionAnalyzer(small_torus, epsilon=0.0)
+
+    def test_render_report(self, small_torus):
+        an = FaultExpansionAnalyzer(small_torus)
+        rep = an.random_faults(0.05, seed=2)
+        text = rep.render()
+        assert "surviving" in text
+        assert small_torus.name in text
+
+
+class TestExperimentRunners:
+    """Smoke-level checks that every runner returns well-formed rows;
+    the integration tests pin the quantitative content."""
+
+    def test_e2_rows(self):
+        from repro.core.experiments import experiment_e2_chain_expansion
+
+        rows = experiment_e2_chain_expansion(seed=0)
+        assert len(rows) == 4
+        assert all(r["upper_ok"] for r in rows)
+
+    def test_e3_rows(self):
+        from repro.core.experiments import experiment_e3_chain_attack
+
+        rows = experiment_e3_chain_attack(seed=0)
+        assert all(r["bound_ok"] for r in rows)
+        # largest fraction shrinks as N grows for fixed k
+        k4 = [r for r in rows if r["k"] == 4]
+        assert k4[-1]["largest_frac"] <= k4[0]["largest_frac"]
+
+    def test_e7_rows(self):
+        from repro.core.experiments import experiment_e7_mesh_span
+
+        rows = experiment_e7_mesh_span(seed=0, n_samples=6)
+        assert all(r["ok"] for r in rows)
+        assert all(r["virtual_connected_rate"] == 1.0 for r in rows)

@@ -1,0 +1,91 @@
+"""Shape tests for the paper experiments not covered in test_core.py.
+
+These call the runners at reduced sizes and assert the claim-shape columns —
+the full-size runs live in the benchmark suite.
+"""
+
+import pytest
+
+from repro.core.experiments import (
+    experiment_e1_adversarial_prune,
+    experiment_e4_uniform_attack,
+    experiment_e5_random_disintegration,
+    experiment_e6_prune2_threshold,
+    experiment_e8_percolation_table,
+    experiment_e9_routing,
+)
+
+
+class TestE1:
+    def test_guarantees_hold(self):
+        rows = experiment_e1_adversarial_prune(seed=0)
+        assert rows
+        assert all(r["size_ok"] and r["alpha_ok"] for r in rows)
+
+    def test_zero_fault_rows_cull_nothing(self):
+        rows = experiment_e1_adversarial_prune(seed=0)
+        for r in rows:
+            if r["f"] == 0:
+                assert r["H_size"] == r["n"]
+
+
+class TestE4:
+    def test_bound_and_shatter(self):
+        rows = experiment_e4_uniform_attack(seed=0)
+        for r in rows:
+            assert r["generic_ok"]
+            assert r["generic_largest_frac"] <= r["eps"] + 0.01
+            assert r["axis_largest_frac"] <= r["eps"] + 0.01
+
+    def test_smaller_eps_needs_more_faults(self):
+        rows = experiment_e4_uniform_attack(seed=0)
+        by_graph = {}
+        for r in rows:
+            by_graph.setdefault(r["graph"], {})[r["eps"]] = r["f_generic"]
+        for counts in by_graph.values():
+            assert counts[0.125] >= counts[0.25]
+
+
+class TestE5:
+    def test_contrast(self):
+        rows = experiment_e5_random_disintegration(seed=0, n_trials=6)
+        chain = {r["p_over_alpha"]: r["gamma_mean"] for r in rows if "chain" in r["graph"]}
+        tor = {r["p_over_alpha"]: r["gamma_mean"] for r in rows if "torus" in r["graph"]}
+        assert chain[4.0] < 0.4
+        assert tor[1.0] > 0.6
+
+    def test_gamma_decreasing_in_p(self):
+        rows = experiment_e5_random_disintegration(seed=0, n_trials=6)
+        for label in {r["graph"] for r in rows}:
+            series = [r["gamma_mean"] for r in rows if r["graph"] == label]
+            assert series == sorted(series, reverse=True)
+
+
+class TestE6:
+    def test_success_at_theory_threshold(self):
+        rows = experiment_e6_prune2_threshold(seed=0, n_trials=3)
+        first = rows[0]
+        assert first["p_fault"] <= 2 * first["theory_p_max"]
+        assert first["success_rate"] == 1.0
+
+    def test_failure_in_supercritical_regime(self):
+        rows = experiment_e6_prune2_threshold(seed=0, n_trials=3)
+        heavy = [r for r in rows if r["p_fault"] >= 0.5]
+        assert heavy and all(r["success_rate"] < 1.0 for r in heavy)
+
+
+class TestE8:
+    def test_ordering(self):
+        rows = experiment_e8_percolation_table(seed=0, n_trials=6, tol=0.04)
+        vals = {r["family"]: r["measured_p*"] for r in rows}
+        assert vals["complete graph K_n"] < vals["hypercube Q_d"]
+        assert vals["hypercube Q_d"] < vals["2-D mesh (n×n)"]
+
+
+class TestE9:
+    def test_stretch_within_bound(self):
+        rows = experiment_e9_routing(seed=0)
+        assert rows
+        for r in rows:
+            assert r["stretch_max"] <= r["dist_bound_O(a^-1 logn)"]
+            assert r["survivor_frac"] > 0.5

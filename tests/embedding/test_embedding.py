@@ -1,0 +1,109 @@
+"""Unit tests for embeddings and fault-displacement remapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, NotConnectedError
+from repro.embedding.embed import (
+    embed_with_bfs_paths,
+    identity_embedding_metrics,
+)
+from repro.embedding.remap import emulate_after_faults, nearest_survivor_mapping
+from repro.faults.model import apply_node_faults
+from repro.faults.random_faults import random_node_faults
+from repro.graphs.generators import cycle_graph, mesh, path_graph, torus
+from repro.graphs.graph import Graph
+
+
+class TestEmbeddingMetrics:
+    def test_identity_embedding(self, small_torus):
+        m = identity_embedding_metrics(small_torus)
+        assert m.load == 1
+        assert m.congestion == 1
+        assert m.dilation == 1
+        assert m.slowdown_bound == 3
+
+    def test_collapse_all_to_one_node(self):
+        guest = cycle_graph(4)
+        host = cycle_graph(4)
+        mapping = np.zeros(4, dtype=np.int64)
+        m = embed_with_bfs_paths(guest, host, mapping)
+        assert m.load == 4
+        assert m.congestion == 0  # all edges map to trivial paths
+        assert m.dilation == 0
+
+    def test_dilation_counts_longest_path(self):
+        guest = Graph.from_edges(2, [(0, 1)])
+        host = path_graph(5)
+        mapping = np.array([0, 4])
+        m = embed_with_bfs_paths(guest, host, mapping)
+        assert m.dilation == 4
+        assert m.congestion == 1
+
+    def test_congestion_shared_edge(self):
+        # two guest edges forced through the same host bridge
+        guest = Graph.from_edges(4, [(0, 1), (2, 3)])
+        host = Graph.from_edges(4, [(0, 2), (2, 3), (3, 1)])  # path 0-2-3-1
+        mapping = np.array([0, 1, 0, 1])
+        m = embed_with_bfs_paths(guest, host, mapping)
+        assert m.congestion == 2  # both guest edges use the whole path
+
+    def test_wrong_mapping_shape(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            embed_with_bfs_paths(small_mesh, small_mesh, np.array([0]))
+
+    def test_target_out_of_range(self):
+        g = cycle_graph(4)
+        with pytest.raises(InvalidParameterError):
+            embed_with_bfs_paths(g, g, np.array([0, 1, 2, 9]))
+
+    def test_disconnected_pair_raises(self):
+        guest = Graph.from_edges(2, [(0, 1)])
+        host = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(NotConnectedError):
+            embed_with_bfs_paths(guest, host, np.array([0, 2]))
+
+
+class TestRemap:
+    def test_survivors_map_to_themselves(self, small_torus):
+        sc = apply_node_faults(small_torus, np.array([0, 5]))
+        mapping = nearest_survivor_mapping(sc)
+        survivors = sc.surviving_nodes
+        for local, orig in enumerate(survivors.tolist()):
+            assert mapping[orig] == local
+
+    def test_faulty_map_to_adjacent_survivor(self):
+        g = torus(6, 2)
+        sc = apply_node_faults(g, np.array([7]))
+        mapping = nearest_survivor_mapping(sc)
+        # node 7's image must be one of its neighbours (all survive)
+        target_orig = sc.surviving_nodes[mapping[7]]
+        assert target_orig in g.neighbors(7).tolist()
+
+    def test_emulation_degrades_gracefully(self):
+        g = torus(8, 2)
+        sc = random_node_faults(g, 0.05, seed=4)
+        metrics = emulate_after_faults(sc)
+        assert metrics.load >= 1
+        assert metrics.dilation >= 1
+        # light faults keep slowdown modest
+        assert metrics.slowdown_bound < 40
+
+    def test_fault_free_emulation_is_identity(self, small_torus):
+        sc = apply_node_faults(small_torus, np.array([], dtype=np.int64))
+        metrics = emulate_after_faults(sc)
+        assert metrics.load == 1 and metrics.dilation == 1
+
+    def test_no_survivors_rejected(self):
+        g = cycle_graph(4)
+        sc = apply_node_faults(g, np.arange(4))
+        with pytest.raises(InvalidParameterError):
+            nearest_survivor_mapping(sc)
+
+    def test_unreachable_nodes_rejected(self):
+        # killing the middle of a path strands one side from the survivors
+        g = path_graph(5)
+        sc = apply_node_faults(g, np.array([2]))
+        # survivors {0,1,3,4} are in two components; mapping still works
+        mapping = nearest_survivor_mapping(sc)
+        assert mapping.shape == (5,)

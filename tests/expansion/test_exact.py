@@ -1,0 +1,149 @@
+"""Unit tests for exhaustive expansion computation against known values."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.expansion.exact import (
+    EXACT_MAX_NODES,
+    edge_expansion_exact,
+    node_expansion_exact,
+)
+from repro.graphs.build import to_networkx
+from repro.graphs.generators import (
+    barbell,
+    complete_graph,
+    cycle_graph,
+    hypercube,
+    mesh,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.ops import edge_boundary_count, node_boundary_size
+
+
+class TestNodeExpansionKnown:
+    def test_cycle(self):
+        # best set: arc of n/2 nodes, boundary 2
+        g = cycle_graph(12)
+        res = node_expansion_exact(g)
+        assert res.value == pytest.approx(2 / 6)
+
+    def test_complete(self):
+        # K_n: any S has boundary n - |S|; min over |S| <= n/2 is at |S| = n/2
+        g = complete_graph(8)
+        res = node_expansion_exact(g)
+        assert res.value == pytest.approx(4 / 4)
+
+    def test_path(self):
+        # P_n: take a half-line from one end, boundary 1
+        g = path_graph(8)
+        res = node_expansion_exact(g)
+        assert res.value == pytest.approx(1 / 4)
+
+    def test_star_leaves(self):
+        # leaves other than the hub: boundary is just the hub
+        g = star_graph(7)  # 8 nodes
+        res = node_expansion_exact(g)
+        assert res.value == pytest.approx(1 / 4)
+
+    def test_hypercube_q3(self):
+        # Q_3: by Harper's vertex-isoperimetry the Hamming ball {0,1,2,4}
+        # is optimal — boundary {3,5,6}, so alpha = 3/4 (not the subcube's 1)
+        res = node_expansion_exact(hypercube(3))
+        assert res.value == pytest.approx(3 / 4)
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        res = node_expansion_exact(g)
+        assert res.value == 0.0
+
+    def test_witness_achieves_value(self):
+        g = mesh([3, 4])
+        res = node_expansion_exact(g)
+        assert res.witness.size >= 1
+        achieved = node_boundary_size(g, res.witness) / res.witness.size
+        assert achieved == pytest.approx(res.value)
+
+    def test_witness_at_most_half(self):
+        g = mesh([3, 4])
+        res = node_expansion_exact(g)
+        assert 2 * res.witness.size <= g.n
+
+
+class TestEdgeExpansionKnown:
+    def test_cycle(self):
+        g = cycle_graph(10)
+        res = edge_expansion_exact(g)
+        assert res.value == pytest.approx(2 / 5)
+
+    def test_complete(self):
+        # K_n: cut(S) = |S|(n-|S|), denominator min side -> min at half: n/2
+        g = complete_graph(8)
+        res = edge_expansion_exact(g)
+        assert res.value == pytest.approx(4.0)
+
+    def test_hypercube_dimension_cut(self):
+        # Q_d edge expansion = 1 (dimension bisection)
+        res = edge_expansion_exact(hypercube(3))
+        assert res.value == pytest.approx(1.0)
+
+    def test_barbell_bridge(self):
+        g = barbell(5, 0)  # two K5 joined by one edge
+        res = edge_expansion_exact(g)
+        assert res.value == pytest.approx(1 / 5)
+
+    def test_witness_achieves_value(self):
+        g = mesh([3, 4])
+        res = edge_expansion_exact(g)
+        size = res.witness.size
+        achieved = edge_boundary_count(g, res.witness) / min(size, g.n - size)
+        assert achieved == pytest.approx(res.value)
+
+    def test_oracle_small_random(self):
+        rng = np.random.default_rng(3)
+        edges = rng.integers(0, 10, size=(20, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = Graph.from_edges(10, edges)
+        ours = edge_expansion_exact(g).value
+        # brute force oracle via itertools
+        from itertools import combinations
+
+        best = float("inf")
+        for r in range(1, 6):
+            for s in combinations(range(10), r):
+                cut = edge_boundary_count(g, list(s))
+                best = min(best, cut / min(r, 10 - r))
+        assert ours == pytest.approx(best)
+
+
+class TestLimits:
+    def test_too_large_rejected(self):
+        g = mesh([5, 4])  # 20 nodes > default 16
+        with pytest.raises(InvalidParameterError):
+            node_expansion_exact(g)
+
+    def test_cap_enforced(self):
+        g = mesh([3, 3])
+        with pytest.raises(InvalidParameterError):
+            node_expansion_exact(g, max_nodes=EXACT_MAX_NODES + 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            node_expansion_exact(Graph.empty(0))
+
+    def test_singleton_node_expansion(self):
+        res = node_expansion_exact(Graph.empty(1))
+        assert res.value == 0.0
+
+    def test_singleton_edge_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            edge_expansion_exact(Graph.empty(1))
+
+    def test_bad_kind_guard(self):
+        from repro.expansion.exact import ExactExpansionResult
+
+        with pytest.raises(InvalidParameterError):
+            ExactExpansionResult(1.0, np.array([0]), "both")

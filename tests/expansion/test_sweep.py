@@ -1,0 +1,83 @@
+"""Unit tests for spectral sweep cuts: difference arrays vs brute force."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.expansion.exact import edge_expansion_exact, node_expansion_exact
+from repro.expansion.sweep import (
+    best_edge_sweep_cut,
+    best_node_sweep_cut,
+    fiedler_order,
+    sweep_cuts_edge,
+    sweep_cuts_node,
+)
+from repro.graphs.generators import cycle_graph, mesh, torus
+from repro.graphs.ops import edge_boundary_count, node_boundary_size
+
+
+class TestSweepArrays:
+    def test_edge_cut_sizes_match_bruteforce(self, small_mesh):
+        order = fiedler_order(small_mesh)
+        _, cuts = sweep_cuts_edge(small_mesh, order)
+        for t in range(small_mesh.n - 1):
+            prefix = order[: t + 1]
+            assert cuts[t] == edge_boundary_count(small_mesh, prefix)
+
+    def test_node_boundaries_match_bruteforce(self, small_mesh):
+        order = fiedler_order(small_mesh)
+        _, pre, suf = sweep_cuts_node(small_mesh, order)
+        n = small_mesh.n
+        for t in range(n - 1):
+            prefix = order[: t + 1]
+            suffix = order[t + 1:]
+            assert pre[t] == node_boundary_size(small_mesh, prefix)
+            assert suf[t] == node_boundary_size(small_mesh, suffix)
+
+    def test_arbitrary_order_supported(self, small_torus):
+        order = np.arange(small_torus.n)[::-1].copy()
+        _, cuts = sweep_cuts_edge(small_torus, order)
+        assert cuts.shape == (small_torus.n - 1,)
+        for t in (0, 10, 30):
+            assert cuts[t] == edge_boundary_count(small_torus, order[: t + 1])
+
+    def test_bad_order_rejected(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            sweep_cuts_edge(small_mesh, np.arange(3))
+
+
+class TestBestCuts:
+    def test_best_cut_is_upper_bound_on_exact(self):
+        g = mesh([3, 4])
+        exact = node_expansion_exact(g).value
+        sweep = best_node_sweep_cut(g)
+        assert sweep.ratio >= exact - 1e-12
+
+    def test_best_edge_cut_is_upper_bound(self):
+        g = mesh([3, 4])
+        exact = edge_expansion_exact(g).value
+        sweep = best_edge_sweep_cut(g)
+        assert sweep.ratio >= exact - 1e-12
+
+    def test_cycle_sweep_finds_optimum(self):
+        # The Fiedler order of a cycle is a rotation sweep; arcs are optimal
+        g = cycle_graph(16)
+        cut = best_edge_sweep_cut(g)
+        assert cut.ratio == pytest.approx(2 / 8)
+
+    def test_cut_respects_half_size(self, small_torus):
+        cut = best_node_sweep_cut(small_torus)
+        assert 1 <= cut.nodes.size <= small_torus.n // 2
+
+    def test_ratio_matches_nodes(self, small_torus):
+        cut = best_node_sweep_cut(small_torus)
+        assert cut.ratio == pytest.approx(
+            node_boundary_size(small_torus, cut.nodes) / cut.nodes.size
+        )
+
+    def test_edge_ratio_matches_nodes(self, small_torus):
+        cut = best_edge_sweep_cut(small_torus)
+        denom = min(cut.nodes.size, small_torus.n - cut.nodes.size)
+        assert cut.ratio == pytest.approx(
+            edge_boundary_count(small_torus, cut.nodes) / denom
+        )

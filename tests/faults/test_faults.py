@@ -1,0 +1,189 @@
+"""Unit tests for fault models: scenario record, random and adversarial."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.faults.adversary import (
+    degree_attack,
+    greedy_boundary_attack,
+    random_attack,
+    separator_attack,
+)
+from repro.faults.attacks_chain import chain_center_attack
+from repro.faults.attacks_mesh import axis_cut_attack, recursive_bisection_attack
+from repro.faults.model import FaultScenario, apply_node_faults
+from repro.faults.random_faults import (
+    random_edge_faults,
+    random_node_faults,
+    sample_fault_mask,
+)
+from repro.graphs.generators import chain_replacement, expander, mesh, star_graph, torus
+from repro.graphs.traversal import component_summary
+
+
+class TestScenario:
+    def test_apply_faults_counts(self, small_torus):
+        sc = apply_node_faults(small_torus, np.array([0, 5, 9]))
+        assert sc.f == 3
+        assert sc.surviving.n == small_torus.n - 3
+        assert sc.fault_fraction == pytest.approx(3 / small_torus.n)
+
+    def test_surviving_nodes_complement(self, small_torus):
+        faults = np.array([1, 2])
+        sc = apply_node_faults(small_torus, faults)
+        assert not np.intersect1d(sc.surviving_nodes, faults).size
+        assert sc.surviving_nodes.size + sc.f == small_torus.n
+
+    def test_original_ids_resolve(self, small_torus):
+        sc = apply_node_faults(small_torus, np.array([0]))
+        assert np.array_equal(sc.surviving.original_ids, np.arange(1, small_torus.n))
+
+    def test_empty_faults(self, small_mesh):
+        sc = apply_node_faults(small_mesh, np.array([], dtype=np.int64))
+        assert sc.f == 0 and sc.surviving.n == small_mesh.n
+
+    def test_inconsistent_scenario_rejected(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            FaultScenario(
+                original=small_mesh,
+                surviving=small_mesh,
+                faulty_nodes=np.array([0]),
+            )
+
+
+class TestRandomFaults:
+    def test_zero_p_no_faults(self, small_torus):
+        sc = random_node_faults(small_torus, 0.0, seed=0)
+        assert sc.f == 0
+
+    def test_one_p_all_faults(self, small_torus):
+        sc = random_node_faults(small_torus, 1.0, seed=0)
+        assert sc.f == small_torus.n
+
+    def test_fault_rate_reasonable(self):
+        g = torus(20, 2)
+        sc = random_node_faults(g, 0.3, seed=1)
+        assert 0.2 < sc.fault_fraction < 0.4
+
+    def test_deterministic_seed(self, small_torus):
+        a = random_node_faults(small_torus, 0.5, seed=42)
+        b = random_node_faults(small_torus, 0.5, seed=42)
+        assert np.array_equal(a.faulty_nodes, b.faulty_nodes)
+
+    def test_protected_respected(self, small_torus):
+        protected = np.arange(10)
+        mask = sample_fault_mask(small_torus.n, 0.9, seed=2, protected=protected)
+        assert not mask[:10].any()
+
+    def test_bad_p_rejected(self, small_torus):
+        with pytest.raises(InvalidParameterError):
+            random_node_faults(small_torus, 1.5)
+
+    def test_edge_faults_keep_nodes(self, small_torus):
+        g = random_edge_faults(small_torus, 0.5, seed=3)
+        assert g.n == small_torus.n
+        assert g.m < small_torus.m
+
+    def test_edge_faults_extremes(self, small_torus):
+        assert random_edge_faults(small_torus, 0.0, seed=0).m == small_torus.m
+        assert random_edge_faults(small_torus, 1.0, seed=0).m == 0
+
+
+class TestAdversaries:
+    def test_budget_exact(self, small_torus):
+        for attack in (degree_attack, lambda g, b: random_attack(g, b, seed=0)):
+            sc = attack(small_torus, 5)
+            assert sc.f == 5
+
+    def test_budget_capped_at_n(self, small_mesh):
+        sc = degree_attack(small_mesh, small_mesh.n + 10)
+        assert sc.f == small_mesh.n
+
+    def test_zero_budget(self, small_mesh):
+        sc = separator_attack(small_mesh, 0)
+        assert sc.f == 0
+
+    def test_degree_attack_targets_hubs(self):
+        g = star_graph(6)
+        sc = degree_attack(g, 1)
+        assert sc.faulty_nodes[0] == 0  # the hub
+
+    def test_separator_attack_damages_more_than_random(self):
+        g = torus(12, 2)
+        budget = 24
+        adv = separator_attack(g, budget)
+        rnd = random_attack(g, budget, seed=0)
+        adv_frac = component_summary(adv.surviving).largest_fraction
+        rnd_frac = component_summary(rnd.surviving).largest_fraction
+        assert adv_frac <= rnd_frac + 0.05
+
+    def test_separator_attack_respects_budget(self, small_torus):
+        sc = separator_attack(small_torus, 7)
+        assert sc.f <= 7
+
+    def test_greedy_attack_runs(self, small_mesh):
+        sc = greedy_boundary_attack(small_mesh, 3, seed=1)
+        assert sc.f == 3
+
+    def test_negative_budget_rejected(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            degree_attack(small_mesh, -1)
+
+
+class TestChainAttack:
+    def test_full_attack_removes_all_centers(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        sc = chain_center_attack(cr)
+        assert sc.f == cr.base.m
+        assert np.array_equal(sc.faulty_nodes, np.sort(cr.center_nodes))
+
+    def test_component_bound_holds(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        sc = chain_center_attack(cr)
+        summary = component_summary(sc.surviving)
+        assert summary.largest_size <= cr.expected_component_size_after_center_attack()
+
+    def test_partial_fraction(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        sc = chain_center_attack(cr, fraction=0.5, seed=0)
+        assert sc.f == round(0.5 * cr.base.m)
+
+    def test_zero_fraction(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        assert chain_center_attack(cr, fraction=0.0).f == 0
+
+    def test_bad_fraction(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        with pytest.raises(InvalidParameterError):
+            chain_center_attack(cr, fraction=1.5)
+
+
+class TestMeshAttacks:
+    def test_recursive_bisection_shatters(self):
+        g = torus(10, 2)
+        eps = 0.25
+        sc = recursive_bisection_attack(g, eps)
+        summary = component_summary(sc.surviving)
+        assert summary.largest_size < eps * g.n + 1
+
+    def test_recursive_bisection_bad_eps(self, small_torus):
+        with pytest.raises(InvalidParameterError):
+            recursive_bisection_attack(small_torus, 1.5)
+
+    def test_axis_attack_shatters(self):
+        g = torus(12, 2)
+        eps = 0.25
+        sc = axis_cut_attack(g, eps)
+        summary = component_summary(sc.surviving)
+        assert summary.largest_size <= eps * g.n + 1e-9
+
+    def test_axis_attack_mesh_too(self):
+        g = mesh([12, 12])
+        sc = axis_cut_attack(g, 0.25)
+        summary = component_summary(sc.surviving)
+        assert summary.largest_size <= 0.25 * g.n + 1e-9
+
+    def test_axis_attack_needs_coords(self, small_expander):
+        with pytest.raises(InvalidParameterError):
+            axis_cut_attack(small_expander, 0.25)

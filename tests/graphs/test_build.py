@@ -1,0 +1,71 @@
+"""Unit tests for interop builders (scipy sparse / networkx round trips)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import InvalidGraphError
+from repro.graphs.build import (
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+from repro.graphs.generators import mesh, torus
+from repro.graphs.graph import Graph
+
+
+class TestScipyRoundTrip:
+    def test_round_trip(self, small_torus):
+        mat = to_scipy_sparse(small_torus)
+        back = from_scipy_sparse(mat)
+        assert back == small_torus
+
+    def test_matrix_symmetric(self, small_mesh):
+        mat = to_scipy_sparse(small_mesh)
+        assert (mat != mat.T).nnz == 0
+
+    def test_degree_from_matrix(self, small_mesh):
+        mat = to_scipy_sparse(small_mesh)
+        assert np.array_equal(np.asarray(mat.sum(axis=1)).ravel(),
+                              small_mesh.degrees.astype(float))
+
+    def test_diagonal_rejected(self):
+        mat = sp.eye(3, format="csr")
+        with pytest.raises(InvalidGraphError):
+            from_scipy_sparse(mat)
+
+    def test_non_square_rejected(self):
+        mat = sp.csr_matrix(np.ones((2, 3)))
+        with pytest.raises(InvalidGraphError):
+            from_scipy_sparse(mat)
+
+    def test_asymmetric_symmetrised(self):
+        mat = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 0], [0, 0, 0]], dtype=float))
+        g = from_scipy_sparse(mat)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip(self, small_mesh):
+        back = from_networkx(to_networkx(small_mesh))
+        assert back == small_mesh
+
+    def test_node_count_preserved_with_isolates(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        g.add_edge(0, 1)
+        ours = from_networkx(g)
+        assert ours.n == 5 and ours.m == 1
+
+    def test_arbitrary_labels(self):
+        g = nx.Graph()
+        g.add_edge("b", "a")
+        g.add_edge("a", "c")
+        ours = from_networkx(g)
+        assert ours.n == 3 and ours.m == 2
+
+    def test_isomorphism_preserved(self):
+        g = torus(4, 2)
+        assert nx.is_isomorphic(to_networkx(g), to_networkx(from_networkx(to_networkx(g))))

@@ -1,0 +1,212 @@
+"""Unit tests for max-flow connectivity (networkx as the oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.build import to_networkx
+from repro.graphs.connectivity import (
+    edge_connectivity_between,
+    global_node_connectivity,
+    min_vertex_cut_between,
+    node_connectivity_between,
+)
+from repro.graphs.generators import (
+    barbell,
+    complete_graph,
+    cycle_graph,
+    gnm_random,
+    hypercube,
+    mesh,
+    path_graph,
+    star_graph,
+    torus,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+
+
+class TestEdgeConnectivity:
+    def test_cycle_two_disjoint_paths(self):
+        g = cycle_graph(8)
+        assert edge_connectivity_between(g, 0, 4) == 2
+
+    def test_path_single(self):
+        g = path_graph(6)
+        assert edge_connectivity_between(g, 0, 5) == 1
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert edge_connectivity_between(g, 0, 2) == 0
+
+    def test_hypercube_matches_degree(self):
+        g = hypercube(4)
+        # opposite corners of Q_d: d edge-disjoint paths
+        assert edge_connectivity_between(g, 0, 15) == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_oracle_random_graphs(self, seed):
+        g = gnm_random(16, 30, seed=seed)
+        nxg = to_networkx(g)
+        rng = np.random.default_rng(seed)
+        s, t = rng.choice(16, size=2, replace=False)
+        ours = edge_connectivity_between(g, int(s), int(t))
+        theirs = nx.edge_connectivity(nxg, int(s), int(t))
+        assert ours == theirs
+
+    def test_bad_endpoints(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            edge_connectivity_between(small_mesh, 0, 0)
+        with pytest.raises(InvalidParameterError):
+            edge_connectivity_between(small_mesh, 0, 99)
+
+
+class TestNodeConnectivity:
+    def test_star_hub_cut(self):
+        g = star_graph(5)
+        assert node_connectivity_between(g, 1, 2) == 1
+
+    def test_adjacent_pair_unseparable(self):
+        g = cycle_graph(6)
+        assert node_connectivity_between(g, 0, 1) == g.n
+
+    def test_cycle_antipodal(self):
+        g = cycle_graph(8)
+        assert node_connectivity_between(g, 0, 4) == 2
+
+    def test_barbell_bridge(self):
+        g = barbell(5, 1)  # bridge node id 10
+        assert node_connectivity_between(g, 0, 5) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_oracle_random_graphs(self, seed):
+        g = gnm_random(14, 26, seed=100 + seed)
+        nxg = to_networkx(g)
+        rng = np.random.default_rng(seed)
+        while True:
+            s, t = rng.choice(14, size=2, replace=False)
+            if not g.has_edge(int(s), int(t)):
+                break
+        ours = node_connectivity_between(g, int(s), int(t))
+        theirs = nx.node_connectivity(nxg, int(s), int(t))
+        assert ours == theirs
+
+
+class TestMinVertexCut:
+    def test_cut_size_matches_connectivity(self):
+        g = mesh([4, 4])
+        k = node_connectivity_between(g, 0, 15)
+        cut = min_vertex_cut_between(g, 0, 15)
+        assert cut.shape[0] == k
+
+    def test_cut_disconnects(self):
+        g = torus(5, 2)
+        cut = min_vertex_cut_between(g, 0, 12)
+        rest = g.without_nodes(cut)
+        # s and t must end up in different components
+        ids = rest.original_ids.tolist()
+        from repro.graphs.traversal import bfs_distances
+
+        s_local, t_local = ids.index(0), ids.index(12)
+        assert bfs_distances(rest, s_local)[t_local] == -1
+
+    def test_excludes_endpoints(self):
+        g = mesh([3, 4])
+        cut = min_vertex_cut_between(g, 0, 11)
+        assert 0 not in cut.tolist() and 11 not in cut.tolist()
+
+    def test_adjacent_rejected(self):
+        g = cycle_graph(5)
+        with pytest.raises(InvalidParameterError):
+            min_vertex_cut_between(g, 0, 1)
+
+
+class TestGlobalConnectivity:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (cycle_graph(7), 2),
+            (path_graph(5), 1),
+            (complete_graph(6), 5),
+            (star_graph(5), 1),
+            (barbell(4, 0), 1),
+            (hypercube(3), 3),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        assert global_node_connectivity(graph) == expected
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert global_node_connectivity(g) == 0
+
+    def test_tiny(self):
+        assert global_node_connectivity(Graph.empty(1)) == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_oracle_random(self, seed):
+        g = gnm_random(12, 22, seed=200 + seed)
+        if not is_connected(g):
+            return
+        assert global_node_connectivity(g) == nx.node_connectivity(to_networkx(g))
+
+    def test_adversary_floor(self):
+        """κ(G) is the adversary's disconnection floor: fewer faults can
+        never disconnect the network (Menger)."""
+        from repro.faults.adversary import separator_attack
+        from repro.graphs.traversal import component_summary
+
+        g = torus(6, 2)
+        kappa = global_node_connectivity(g)
+        assert kappa == 4
+        sc = separator_attack(g, kappa - 1)
+        assert component_summary(sc.surviving).n_components == 1
+
+
+class TestGlobalEdgeConnectivity:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (cycle_graph(7), 2),
+            (path_graph(5), 1),
+            (complete_graph(6), 5),
+            (hypercube(3), 3),
+            (barbell(4, 0), 1),
+            (torus(4, 2), 4),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        from repro.graphs.connectivity import global_edge_connectivity
+
+        assert global_edge_connectivity(graph) == expected
+
+    def test_disconnected_zero(self):
+        from repro.graphs.connectivity import global_edge_connectivity
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert global_edge_connectivity(g) == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_oracle_random(self, seed):
+        from repro.graphs.connectivity import global_edge_connectivity
+
+        g = gnm_random(12, 24, seed=300 + seed)
+        if not is_connected(g):
+            return
+        assert global_edge_connectivity(g) == nx.edge_connectivity(to_networkx(g))
+
+    def test_whitney_inequalities(self):
+        """Whitney: κ(G) ≤ λ(G) ≤ δ_min(G)."""
+        from repro.graphs.connectivity import (
+            global_edge_connectivity,
+            global_node_connectivity,
+        )
+
+        for seed in range(3):
+            g = gnm_random(10, 18, seed=400 + seed)
+            if not is_connected(g):
+                continue
+            kappa = global_node_connectivity(g)
+            lam = global_edge_connectivity(g)
+            assert kappa <= lam <= g.min_degree

@@ -1,0 +1,333 @@
+"""Unit tests for topology generators: sizes, degrees, structure invariants."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.build import to_networkx
+from repro.graphs.generators import (
+    barbell,
+    binary_tree,
+    butterfly,
+    can_overlay,
+    chain_replacement,
+    chordal_cycle,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    debruijn,
+    erdos_renyi,
+    expander,
+    gnm_random,
+    hypercube,
+    margulis_expander,
+    mesh,
+    path_graph,
+    random_regular,
+    ring_of_cliques,
+    shuffle_exchange,
+    splitter_network,
+    star_graph,
+    torus,
+    wrapped_butterfly,
+)
+from repro.graphs.traversal import is_connected
+
+
+class TestMeshTorus:
+    def test_mesh_2d_counts(self):
+        g = mesh([4, 5])
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # vertical + horizontal... (rows x cols)
+
+    def test_mesh_edge_count_formula(self):
+        # d-dim mesh edges: sum over axes of (side_a - 1) * prod(other sides)
+        g = mesh([3, 4, 5])
+        expected = 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+        assert g.m == expected
+
+    def test_mesh_degree_bounds(self):
+        g = mesh([4, 4])
+        assert g.min_degree == 2 and g.max_degree == 4
+
+    def test_mesh_scalar_spec(self):
+        assert mesh(3, 2).n == 9
+
+    def test_mesh_scalar_needs_d(self):
+        with pytest.raises(InvalidParameterError):
+            mesh(3)
+
+    def test_torus_regularity(self):
+        g = torus(5, 3)
+        assert g.is_regular()
+        assert g.max_degree == 6
+
+    def test_torus_edge_count(self):
+        g = torus(5, 2)
+        assert g.m == 2 * 25  # d * n for side > 2
+
+    def test_torus_side2_no_duplicate_wrap(self):
+        g = torus(2, 2)
+        assert g.m == 4  # the 4-cycle, not doubled edges
+
+    def test_mesh_coords_attached(self):
+        g = mesh([3, 3])
+        assert g.coords is not None and g.coords.shape == (9, 2)
+
+    def test_connected(self):
+        assert is_connected(mesh([4, 4, 3]))
+        assert is_connected(torus(4, 3))
+
+    def test_isomorphic_to_networkx_grid(self):
+        ours = to_networkx(mesh([3, 4]))
+        theirs = nx.grid_graph(dim=[4, 3])  # nx uses reversed dims
+        assert nx.is_isomorphic(ours, theirs)
+
+    def test_bad_sides(self):
+        with pytest.raises(InvalidParameterError):
+            mesh([0, 3])
+
+
+class TestCanOverlay:
+    def test_exact_power(self):
+        g = can_overlay(27, 3, seed=0)
+        assert g.n == 27
+        assert g.is_regular()  # full torus
+
+    def test_non_power_size(self):
+        g = can_overlay(20, 2, seed=0)
+        assert g.n == 20
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            can_overlay(0, 2)
+        with pytest.raises(InvalidParameterError):
+            can_overlay(5, 0)
+
+
+class TestHypercube:
+    def test_counts(self):
+        g = hypercube(5)
+        assert g.n == 32 and g.m == 5 * 16
+        assert g.is_regular() and g.max_degree == 5
+
+    def test_neighbors_hamming_one(self):
+        g = hypercube(4)
+        for v in [0, 7, 15]:
+            for u in g.neighbors(v).tolist():
+                assert bin(u ^ v).count("1") == 1
+
+    def test_isomorphic_oracle(self):
+        assert nx.is_isomorphic(to_networkx(hypercube(3)), nx.hypercube_graph(3))
+
+    def test_degenerate(self):
+        assert hypercube(0).n == 1
+
+    def test_too_large_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            hypercube(25)
+
+
+class TestButterfly:
+    def test_counts(self):
+        g = butterfly(3)
+        assert g.n == 4 * 8
+        assert g.m == 2 * 3 * 8  # 2 edges per node per level transition
+
+    def test_level_structure(self):
+        g = butterfly(3)
+        assert g.coords is not None
+        levels = g.coords[:, 0]
+        # edges only between consecutive levels
+        for u, v in g.edge_array().tolist():
+            assert abs(levels[u] - levels[v]) == 1
+
+    def test_connected(self):
+        assert is_connected(butterfly(4))
+
+    def test_wrapped_butterfly_regular(self):
+        g = wrapped_butterfly(3)
+        assert g.n == 3 * 8
+        assert is_connected(g)
+        assert g.max_degree == 4
+
+    def test_splitter_network_shape(self):
+        g = splitter_network(4, 2, seed=1)
+        assert g.n == 5 * 16
+        assert is_connected(g)
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            butterfly(0)
+        with pytest.raises(InvalidParameterError):
+            wrapped_butterfly(1)
+        with pytest.raises(InvalidParameterError):
+            splitter_network(0)
+
+
+class TestDeBruijnShuffle:
+    def test_debruijn_counts(self):
+        g = debruijn(4)
+        assert g.n == 16
+        assert g.max_degree <= 4
+        assert is_connected(g)
+
+    def test_shuffle_exchange_counts(self):
+        g = shuffle_exchange(4)
+        assert g.n == 16
+        assert g.max_degree <= 3
+        assert is_connected(g)
+
+    def test_bad_order(self):
+        with pytest.raises(InvalidParameterError):
+            debruijn(0)
+        with pytest.raises(InvalidParameterError):
+            shuffle_exchange(0)
+
+
+class TestRandomGraphs:
+    def test_gnp_edge_probability(self):
+        g = erdos_renyi(60, 0.2, seed=1)
+        max_m = 60 * 59 // 2
+        assert 0.1 * max_m < g.m < 0.3 * max_m
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=0).m == 0
+        assert erdos_renyi(10, 1.0, seed=0).m == 45
+
+    def test_gnm_exact_count(self):
+        g = gnm_random(30, 100, seed=2)
+        assert g.n == 30 and g.m == 100
+
+    def test_gnm_full(self):
+        g = gnm_random(8, 28, seed=0)
+        assert g.m == 28
+
+    def test_gnm_bad_m(self):
+        with pytest.raises(InvalidParameterError):
+            gnm_random(5, 11)
+
+    def test_random_regular_is_regular(self):
+        for d in (3, 4, 6):
+            g = random_regular(50, d, seed=d)
+            assert g.is_regular()
+            assert g.max_degree == d
+
+    def test_random_regular_many_seeds(self):
+        # repair-based sampler must be reliable across seeds
+        for s in range(30):
+            g = random_regular(64, 4, seed=s)
+            assert g.is_regular() and g.m == 128
+
+    def test_random_regular_parity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_regular(5, 3)
+
+    def test_random_regular_degree_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            random_regular(4, 4)
+
+
+class TestExpanders:
+    def test_margulis_structure(self):
+        g = margulis_expander(6)
+        assert g.n == 36
+        assert g.max_degree <= 8
+        assert is_connected(g)
+
+    def test_chordal_cycle_prime(self):
+        g = chordal_cycle(13)
+        assert g.n == 13
+        assert g.max_degree <= 3
+        assert is_connected(g)
+
+    def test_chordal_rejects_composite(self):
+        with pytest.raises(InvalidParameterError):
+            chordal_cycle(15)
+
+    def test_expander_wrapper(self):
+        g = expander(40, 4, seed=0)
+        assert g.is_regular()
+        assert is_connected(g)
+
+    def test_expander_odd_product_rounds_up(self):
+        g = expander(41, 3, seed=0)
+        assert (g.n * 3) % 2 == 0
+
+
+class TestChains:
+    def test_size_formula(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        n, m = small_expander.n, small_expander.m
+        assert cr.graph.n == n + 4 * m
+        assert cr.graph.m == m * 5  # k+1 edges per chain
+
+    def test_chain_degrees(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        degs = cr.graph.degrees
+        # chain nodes have degree 2; base nodes keep their base degree
+        assert np.all(degs[cr.chain_nodes.ravel()] == 2)
+        assert np.all(degs[: small_expander.n] == small_expander.degrees)
+
+    def test_centers_disconnect_chains(self, small_expander):
+        cr = chain_replacement(small_expander, 4)
+        centers = cr.center_nodes
+        assert centers.shape[0] == small_expander.m
+        # each centre is a chain node
+        assert np.all(np.isin(centers, cr.chain_nodes))
+
+    def test_connected(self, small_expander):
+        cr = chain_replacement(small_expander, 6)
+        assert is_connected(cr.graph)
+
+    def test_odd_k_rejected(self, small_expander):
+        with pytest.raises(InvalidParameterError):
+            chain_replacement(small_expander, 3)
+
+    def test_edgeless_base_rejected(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(InvalidParameterError):
+            chain_replacement(Graph.empty(5), 4)
+
+
+class TestClassic:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15 and g.is_regular()
+
+    def test_cycle_path_star(self):
+        assert cycle_graph(5).m == 5
+        assert path_graph(5).m == 4
+        assert star_graph(4).m == 4
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.n == 7 and g.m == 12
+
+    def test_barbell(self):
+        g = barbell(4, 2)
+        assert g.n == 10
+        assert is_connected(g)
+        # bridge nodes have degree 2
+        assert g.degrees[8] == 2 and g.degrees[9] == 2
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 3)
+        assert g.n == 12
+        assert is_connected(g)
+        assert g.m == 4 * 3 + 4  # cliques + ring edges
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.n == 15 and g.m == 14
+        assert is_connected(g)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(2)
+        with pytest.raises(InvalidParameterError):
+            ring_of_cliques(2, 3)
+        with pytest.raises(InvalidParameterError):
+            barbell(1)

@@ -1,0 +1,171 @@
+"""Unit tests for the CSR Graph kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graphs.graph import Graph, neighbors_of_many
+
+
+def triangle():
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = triangle()
+        assert g.n == 3
+        assert g.m == 3
+        assert np.array_equal(g.neighbors(0), [1, 2])
+
+    def test_duplicate_edges_collapsed(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph.from_edges(3, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph.from_edges(3, [(0, 3)])
+        with pytest.raises(InvalidGraphError):
+            Graph.from_edges(3, [(-1, 0)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph.from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph.from_edges(3, np.array([[0.5, 1.0]]))
+
+    def test_empty_graph(self):
+        g = Graph.empty(4)
+        assert g.n == 4 and g.m == 0
+        assert g.neighbors(0).size == 0
+
+    def test_zero_nodes(self):
+        g = Graph.empty(0)
+        assert g.n == 0 and g.m == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph.from_edges(-1, [])
+
+    def test_neighbour_lists_sorted(self):
+        g = Graph.from_edges(5, [(4, 0), (2, 0), (3, 0), (1, 0)])
+        assert np.array_equal(g.neighbors(0), [1, 2, 3, 4])
+
+
+class TestProperties:
+    def test_degrees(self):
+        g = triangle()
+        assert np.array_equal(g.degrees, [2, 2, 2])
+        assert g.max_degree == 2 and g.min_degree == 2
+
+    def test_degrees_star(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree == 3 and g.min_degree == 1
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        g2 = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not g2.has_edge(0, 2)
+
+    def test_edge_array_canonical(self):
+        g = triangle()
+        edges = g.edge_array()
+        assert edges.shape == (3, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_is_regular(self):
+        assert triangle().is_regular()
+        assert not Graph.from_edges(3, [(0, 1)]).is_regular()
+
+    def test_equality_and_hash(self):
+        a, b = triangle(), triangle()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Graph.from_edges(3, [(0, 1)])
+
+    def test_validate_roundtrip(self):
+        triangle().validate()  # should not raise
+
+
+class TestSubgraph:
+    def test_induced_edges(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.m == 2  # edges (0,1),(1,2)
+
+    def test_original_ids(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        sub = g.subgraph([1, 3])
+        assert np.array_equal(sub.original_ids, [1, 3])
+
+    def test_original_ids_compose(self):
+        g = Graph.from_edges(6, [(i, i + 1) for i in range(5)])
+        sub1 = g.subgraph([1, 2, 3, 4])
+        sub2 = sub1.subgraph([1, 2])  # local ids in sub1 => original 2, 3
+        assert np.array_equal(sub2.original_ids, [2, 3])
+
+    def test_without_nodes(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        h = g.without_nodes([1])
+        assert h.n == 3
+        assert h.m == 1  # only (2,3) survives
+        assert np.array_equal(h.original_ids, [0, 2, 3])
+
+    def test_subgraph_empty_selection(self):
+        g = triangle()
+        sub = g.subgraph([])
+        assert sub.n == 0 and sub.m == 0
+
+    def test_subgraph_valid_csr(self):
+        g = Graph.from_edges(6, [(0, 1), (0, 2), (1, 2), (3, 4), (4, 5), (2, 3)])
+        sub = g.subgraph([0, 2, 3, 5])
+        sub.validate()
+
+    def test_coords_carried(self):
+        coords = np.arange(6).reshape(3, 2)
+        g = Graph.from_edges(3, [(0, 1)], coords=coords)
+        sub = g.subgraph([0, 2])
+        assert np.array_equal(sub.coords, coords[[0, 2]])
+
+    def test_renamed_shares_structure(self):
+        g = triangle()
+        h = g.renamed("tri")
+        assert h.name == "tri"
+        assert h == g
+
+
+class TestNeighborsOfMany:
+    def test_matches_manual_concat(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4)])
+        got = neighbors_of_many(g, np.array([0, 1]))
+        expected = np.concatenate([g.neighbors(0), g.neighbors(1)])
+        assert np.array_equal(got, expected)
+
+    def test_empty_input(self):
+        g = triangle()
+        assert neighbors_of_many(g, np.array([], dtype=np.int64)).size == 0
+
+    def test_isolated_nodes(self):
+        g = Graph.empty(3)
+        assert neighbors_of_many(g, np.array([0, 1, 2])).size == 0
+
+    def test_multiplicity_preserved(self):
+        g = triangle()
+        got = neighbors_of_many(g, np.array([0, 1, 2]))
+        assert got.shape[0] == 6  # 2 per node
+
+    def test_csr_invalid_structures_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph(np.array([0, 1]), np.array([0]))  # self loop via indices
+        with pytest.raises(InvalidGraphError):
+            Graph(np.array([1, 2]), np.array([1, 0]))  # indptr[0] != 0
+        with pytest.raises(InvalidGraphError):
+            Graph(np.array([0, 2]), np.array([1]))  # indptr end mismatch

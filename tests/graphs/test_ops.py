@@ -1,0 +1,153 @@
+"""Unit tests for boundary operators, cross-checked against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import cycle_graph, mesh, torus
+from repro.graphs.graph import Graph
+from repro.graphs.ops import (
+    as_indices,
+    as_mask,
+    closed_neighborhood,
+    edge_boundary,
+    edge_boundary_count,
+    edge_expansion_of_set,
+    node_boundary,
+    node_boundary_size,
+    node_expansion_of_set,
+    volume,
+)
+
+
+def brute_node_boundary(g: Graph, s: set) -> set:
+    out = set()
+    for v in s:
+        for u in g.neighbors(v).tolist():
+            if u not in s:
+                out.add(u)
+    return out
+
+
+def brute_edge_boundary(g: Graph, s: set) -> int:
+    count = 0
+    for u, v in g.edge_array().tolist():
+        if (u in s) != (v in s):
+            count += 1
+    return count
+
+
+class TestCanonicalisation:
+    def test_as_mask_from_indices(self, small_mesh):
+        mask = as_mask(small_mesh, [0, 5])
+        assert mask.sum() == 2 and mask[0] and mask[5]
+
+    def test_as_mask_passthrough(self, small_mesh):
+        m = np.zeros(small_mesh.n, dtype=bool)
+        m[3] = True
+        assert np.array_equal(as_mask(small_mesh, m), m)
+
+    def test_as_mask_wrong_shape(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            as_mask(small_mesh, np.zeros(3, dtype=bool))
+
+    def test_as_indices_from_mask(self, small_mesh):
+        m = np.zeros(small_mesh.n, dtype=bool)
+        m[[2, 7]] = True
+        assert np.array_equal(as_indices(small_mesh, m), [2, 7])
+
+    def test_as_indices_dedupes(self, small_mesh):
+        assert np.array_equal(as_indices(small_mesh, [3, 3, 1]), [1, 3])
+
+    def test_out_of_range(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            as_indices(small_mesh, [small_mesh.n])
+
+
+class TestNodeBoundary:
+    @pytest.mark.parametrize("subset", [[0], [0, 1], [0, 1, 4, 5], [5, 6, 9, 10]])
+    def test_matches_bruteforce_mesh(self, subset):
+        g = mesh([4, 4])
+        got = set(node_boundary(g, subset).tolist())
+        assert got == brute_node_boundary(g, set(subset))
+
+    def test_whole_graph_empty_boundary(self, small_cycle):
+        assert node_boundary(small_cycle, list(range(small_cycle.n))).size == 0
+
+    def test_size_helper(self, small_mesh):
+        s = [0, 1, 4]
+        assert node_boundary_size(small_mesh, s) == len(
+            brute_node_boundary(small_mesh, set(s))
+        )
+
+    def test_empty_set(self, small_mesh):
+        assert node_boundary(small_mesh, []).size == 0
+
+    def test_boundary_excludes_set(self, small_torus):
+        s = [0, 1, 2]
+        b = node_boundary(small_torus, s)
+        assert not np.intersect1d(b, s).size
+
+
+class TestEdgeBoundary:
+    @pytest.mark.parametrize("subset", [[0], [0, 1, 2, 3], [0, 4, 8, 12]])
+    def test_count_matches_bruteforce(self, subset):
+        g = mesh([4, 4])
+        assert edge_boundary_count(g, subset) == brute_edge_boundary(g, set(subset))
+
+    def test_edges_oriented_from_set(self, small_mesh):
+        s = [0, 1]
+        eb = edge_boundary(small_mesh, s)
+        assert np.all(np.isin(eb[:, 0], s))
+        assert not np.any(np.isin(eb[:, 1], s))
+
+    def test_count_equals_edge_list_len(self, small_torus):
+        s = list(range(8))
+        assert edge_boundary(small_torus, s).shape[0] == edge_boundary_count(
+            small_torus, s
+        )
+
+    def test_complement_symmetry(self, small_mesh):
+        s = [0, 1, 4, 5]
+        comp = sorted(set(range(small_mesh.n)) - set(s))
+        assert edge_boundary_count(small_mesh, s) == edge_boundary_count(small_mesh, comp)
+
+
+class TestExpansionOfSet:
+    def test_cycle_arc(self):
+        g = cycle_graph(10)
+        # an arc of 3 nodes has 2 boundary nodes and 2 crossing edges
+        assert node_expansion_of_set(g, [0, 1, 2]) == pytest.approx(2 / 3)
+        assert edge_expansion_of_set(g, [0, 1, 2]) == pytest.approx(2 / 3)
+
+    def test_edge_expansion_uses_min_side(self):
+        g = cycle_graph(10)
+        arc7 = list(range(7))
+        # min(|S|, n-|S|) = 3
+        assert edge_expansion_of_set(g, arc7) == pytest.approx(2 / 3)
+
+    def test_empty_set_rejected(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            node_expansion_of_set(small_mesh, [])
+
+    def test_full_set_rejected_for_edge(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            edge_expansion_of_set(small_mesh, list(range(small_mesh.n)))
+
+    def test_torus_band(self):
+        g = torus(6, 2)
+        band = [i for i in range(g.n) if i // 6 < 3]  # half the rows
+        # boundary = 2 rows of 6 (one on each side); |S| = 18
+        assert node_expansion_of_set(g, band) == pytest.approx(12 / 18)
+
+
+class TestVolumeAndClosure:
+    def test_volume(self, small_mesh):
+        s = [0, 5]
+        assert volume(small_mesh, s) == int(small_mesh.degrees[[0, 5]].sum())
+
+    def test_closed_neighborhood(self, small_mesh):
+        s = [5]
+        cn = closed_neighborhood(small_mesh, s)
+        assert 5 in cn.tolist()
+        assert set(cn.tolist()) == {5} | set(small_mesh.neighbors(5).tolist())

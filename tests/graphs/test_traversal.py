@@ -1,0 +1,202 @@
+"""Unit tests for traversal (BFS, components) with a networkx oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, NotConnectedError
+from repro.graphs.build import to_networkx
+from repro.graphs.generators import barbell, cycle_graph, mesh, path_graph, torus
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_tree,
+    component_sizes,
+    component_summary,
+    connected_components,
+    connected_components_unionfind,
+    eccentricity,
+    is_connected,
+    is_subset_connected,
+    largest_component,
+    largest_component_fraction,
+    pairwise_distupdate,
+)
+
+
+def two_components():
+    return Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        g = path_graph(5)
+        d = bfs_distances(g, 0)
+        assert np.array_equal(d, [0, 1, 2, 3, 4])
+
+    def test_oracle_mesh(self):
+        g = mesh([5, 5])
+        d = bfs_distances(g, 0)
+        oracle = nx.single_source_shortest_path_length(to_networkx(g), 0)
+        for v, dist in oracle.items():
+            assert d[v] == dist
+
+    def test_multi_source(self):
+        g = path_graph(7)
+        d = bfs_distances(g, [0, 6])
+        assert np.array_equal(d, [0, 1, 2, 3, 2, 1, 0])
+
+    def test_unreachable_minus_one(self):
+        d = bfs_distances(two_components(), 0)
+        assert d[3] == -1 and d[5] == -1
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bfs_distances(path_graph(3), np.array([], dtype=np.int64))
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bfs_distances(path_graph(3), 5)
+
+
+class TestBfsTree:
+    def test_parents_consistent_with_distances(self):
+        g = mesh([4, 4])
+        parent = bfs_tree(g, 0)
+        dist = bfs_distances(g, 0)
+        for v in range(1, g.n):
+            assert dist[parent[v]] == dist[v] - 1
+
+    def test_root_self_parent(self):
+        assert bfs_tree(path_graph(3), 1)[1] == 1
+
+    def test_unreachable_marked(self):
+        parent = bfs_tree(two_components(), 0)
+        assert parent[4] == -1
+
+    def test_bad_root(self):
+        with pytest.raises(InvalidParameterError):
+            bfs_tree(path_graph(3), -1)
+
+
+class TestComponents:
+    def test_single_component(self, small_torus):
+        labels = connected_components(small_torus)
+        assert labels.max() == 0
+
+    def test_two_components(self):
+        labels = connected_components(two_components())
+        assert labels.max() == 2  # {0,1,2}, {3,4}, and isolated {5}
+        assert labels[0] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0],)
+
+    def test_isolated_nodes_counted(self):
+        g = Graph.empty(3)
+        labels = connected_components(g)
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_bfs_matches_unionfind(self):
+        g = two_components()
+        a = connected_components(g)
+        b = connected_components_unionfind(g)
+        # same partition (labels may differ) — compare co-membership
+        for i in range(g.n):
+            for j in range(g.n):
+                assert (a[i] == a[j]) == (b[i] == b[j])
+
+    def test_oracle_random_graph(self):
+        rng = np.random.default_rng(5)
+        edges = rng.integers(0, 30, size=(40, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = Graph.from_edges(30, edges)
+        ours = component_sizes(connected_components(g))
+        theirs = sorted(
+            (len(c) for c in nx.connected_components(to_networkx(g))), reverse=True
+        )
+        assert sorted(ours.tolist(), reverse=True) == theirs
+
+    def test_component_sizes_sum(self):
+        labels = connected_components(two_components())
+        assert component_sizes(labels).sum() == 6
+
+
+class TestLargestComponent:
+    def test_fraction(self):
+        assert largest_component_fraction(two_components()) == pytest.approx(0.5)
+
+    def test_ids_sorted_and_correct(self):
+        lc = largest_component(two_components())
+        assert np.array_equal(lc, [0, 1, 2])
+
+    def test_connected_graph_full(self, small_mesh):
+        assert largest_component(small_mesh).shape[0] == small_mesh.n
+
+    def test_empty_graph(self):
+        assert largest_component_fraction(Graph.empty(0)) == 0.0
+
+
+class TestConnectivityChecks:
+    def test_is_connected(self, small_torus):
+        assert is_connected(small_torus)
+        assert not is_connected(two_components())
+        assert is_connected(Graph.empty(1))
+
+    def test_subset_connected(self):
+        g = cycle_graph(8)
+        assert is_subset_connected(g, np.array([0, 1, 2]))
+        assert not is_subset_connected(g, np.array([0, 2]))
+        assert is_subset_connected(g, np.array([5]))
+        assert is_subset_connected(g, np.array([], dtype=np.int64))
+
+    def test_subset_connected_mask_input(self):
+        g = cycle_graph(6)
+        mask = np.zeros(6, dtype=bool)
+        mask[[1, 2, 3]] = True
+        assert is_subset_connected(g, mask)
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 4
+        assert eccentricity(path_graph(5), 2) == 2
+
+    def test_eccentricity_disconnected(self):
+        with pytest.raises(NotConnectedError):
+            eccentricity(two_components(), 0)
+
+
+class TestPairwiseDist:
+    def test_grouped_queries(self):
+        g = mesh([4, 4])
+        pairs = np.array([[0, 15], [0, 3], [5, 10], [5, 0]])
+        d = pairwise_distupdate(g, pairs)
+        assert d[0] == 6 and d[1] == 3
+        oracle = nx.shortest_path_length(to_networkx(g), 5, 10)
+        assert d[2] == oracle
+
+    def test_unreachable(self):
+        d = pairwise_distupdate(two_components(), np.array([[0, 4]]))
+        assert d[0] == -1
+
+    def test_bad_shape(self):
+        with pytest.raises(InvalidParameterError):
+            pairwise_distupdate(path_graph(3), np.array([0, 1]))
+
+
+class TestComponentSummary:
+    def test_summary_fields(self):
+        s = component_summary(two_components())
+        assert s.n_components == 3
+        assert s.largest_size == 3
+        assert s.largest_fraction == pytest.approx(0.5)
+        assert np.array_equal(s.sizes, [3, 2, 1])
+
+    def test_sublinear_check(self):
+        s = component_summary(two_components())
+        assert s.sublinear_against(6, threshold=0.9)
+        assert not s.sublinear_against(6, threshold=0.4)
+
+    def test_barbell_connected(self):
+        s = component_summary(barbell(5, 2))
+        assert s.n_components == 1
+        assert s.largest_fraction == 1.0

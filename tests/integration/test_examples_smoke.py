@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Each example's ``main()`` is imported and executed (fast ones fully; the
+heavier studies are exercised through their underlying runners elsewhere).
+This guards the public API surface the examples advertise.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+class TestExamplesSmoke:
+    def test_examples_present(self):
+        present = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart",
+            "p2p_can_network",
+            "adversarial_attack_planning",
+            "mesh_resilience_study",
+            "percolation_thresholds",
+        } <= present
+
+    def test_quickstart_runs(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Fault-tolerance report" in out
+        assert "Same budget" in out
+
+    def test_percolation_thresholds_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["percolation_thresholds.py"])
+        _load("percolation_thresholds").main()
+        out = capsys.readouterr().out
+        assert "Kesten" in out
+        assert "measured_p*" in out
+
+    def test_attack_planning_runs(self, capsys):
+        _load("adversarial_attack_planning").main()
+        out = capsys.readouterr().out
+        assert "chain centres (Thm 2.3)" in out
+        assert "attack comparison" in out

@@ -1,0 +1,60 @@
+"""Shared hypothesis strategies: random small graphs with controlled shape."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+
+
+@st.composite
+def edge_lists(draw, min_nodes=2, max_nodes=10, max_extra_edges=15):
+    """A random graph as (n, edges) with no self-loops."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    n_edges = draw(st.integers(0, max_extra_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    edges = [(u, v) for u, v in edges if u != v]
+    return n, edges
+
+
+@st.composite
+def graphs(draw, min_nodes=2, max_nodes=10, max_extra_edges=15):
+    """A random simple graph (possibly disconnected)."""
+    n, edges = draw(edge_lists(min_nodes, max_nodes, max_extra_edges))
+    return Graph.from_edges(n, np.array(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=2, max_nodes=10, max_extra_edges=12):
+    """A random connected simple graph: random permutation path + extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    perm = draw(st.permutations(list(range(n))))
+    tree_edges = [(perm[i], perm[i + 1]) for i in range(n - 1)]
+    n_extra = draw(st.integers(0, max_extra_edges))
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=n_extra,
+            max_size=n_extra,
+        )
+    )
+    edges = tree_edges + [(u, v) for u, v in extra if u != v]
+    return Graph.from_edges(n, np.array(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@st.composite
+def graph_with_subset(draw, min_nodes=3, max_nodes=10):
+    """A connected graph plus a non-empty subset of at most half its nodes."""
+    g = draw(connected_graphs(min_nodes=min_nodes, max_nodes=max_nodes))
+    size = draw(st.integers(1, max(1, g.n // 2)))
+    subset = draw(
+        st.lists(st.integers(0, g.n - 1), min_size=size, max_size=size, unique=True)
+    )
+    return g, np.array(sorted(subset), dtype=np.int64)

@@ -1,0 +1,93 @@
+"""Property-based tests for connectivity and fault-scenario invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.model import apply_node_faults
+from repro.faults.random_faults import random_node_faults
+from repro.graphs.connectivity import (
+    edge_connectivity_between,
+    global_node_connectivity,
+    node_connectivity_between,
+)
+from repro.graphs.traversal import bfs_distances, is_connected
+from repro.pruning.cutfinder import ExhaustiveCutFinder
+from repro.pruning.prune2 import prune2
+from repro.pruning.certificates import verify_culls
+
+from .strategies import connected_graphs, graphs
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(min_nodes=3, max_nodes=9))
+def test_edge_connectivity_bounded_by_degrees(g):
+    """λ(s,t) ≤ min(deg s, deg t); positive iff connected."""
+    s, t = 0, g.n - 1
+    lam = edge_connectivity_between(g, s, t)
+    assert lam <= min(int(g.degrees[s]), int(g.degrees[t]))
+    assert lam >= 1  # connected
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(min_nodes=3, max_nodes=9))
+def test_menger_sandwich(g):
+    """κ(s,t) ≤ λ(s,t) for non-adjacent pairs (Menger/Whitney)."""
+    s, t = 0, g.n - 1
+    assume(not g.has_edge(s, t))
+    kappa = node_connectivity_between(g, s, t)
+    lam = edge_connectivity_between(g, s, t)
+    assert kappa <= lam
+
+
+@settings(max_examples=20, deadline=None)
+@given(connected_graphs(min_nodes=3, max_nodes=8))
+def test_global_kappa_at_most_min_degree(g):
+    kappa = global_node_connectivity(g)
+    if g.m < g.n * (g.n - 1) // 2:  # non-complete
+        assert kappa <= g.min_degree
+    assert kappa >= 1  # connected
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(min_nodes=2, max_nodes=10), st.integers(0, 3))
+def test_fault_scenario_partition(g, n_faults):
+    """Survivors + faults partition the node set; ids resolve correctly."""
+    n_faults = min(n_faults, g.n)
+    faults = np.arange(n_faults, dtype=np.int64)
+    sc = apply_node_faults(g, faults)
+    assert sc.surviving.n + sc.f == g.n
+    assert not np.intersect1d(sc.surviving_nodes, sc.faulty_nodes).size
+    union = np.union1d(sc.surviving_nodes, sc.faulty_nodes)
+    assert np.array_equal(union, np.arange(g.n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(connected_graphs(min_nodes=4, max_nodes=10), st.floats(0.1, 0.9))
+def test_prune2_postconditions(g, eps):
+    """Prune2 culls are certified and survivors partition correctly."""
+    from repro.expansion.exact import edge_expansion_exact
+
+    ae = edge_expansion_exact(g, max_nodes=10).value
+    assume(ae > 0)
+    finder = ExhaustiveCutFinder(max_nodes=10)
+    res = prune2(g, ae, eps, finder=finder)
+    assert verify_culls(res)
+    assert res.n_culled + res.surviving_local.size == g.n
+    # no-fault fixpoint: threshold ae*eps < ae means nothing qualifies
+    if eps < 1.0 - 1e-9:
+        assert res.n_culled == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(connected_graphs(min_nodes=4, max_nodes=10), st.integers(0, 10_000))
+def test_random_faults_distance_monotone(g, seed):
+    """Distances never shrink under faults (induced subgraph property)."""
+    sc = random_node_faults(g, 0.3, seed=seed)
+    surv = sc.surviving
+    assume(surv.n >= 2)
+    d_faulty = bfs_distances(surv, 0)
+    d_orig = bfs_distances(g, int(surv.original_ids[0]))
+    for local in range(surv.n):
+        if d_faulty[local] >= 0:
+            assert d_faulty[local] >= d_orig[surv.original_ids[local]]

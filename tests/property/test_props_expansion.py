@@ -1,0 +1,105 @@
+"""Property-based tests for expansion machinery and pruning postconditions."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.expansion.estimate import estimate_node_expansion
+from repro.expansion.exact import edge_expansion_exact, node_expansion_exact
+from repro.expansion.local import refine_cut
+from repro.expansion.sweep import best_edge_sweep_cut, best_node_sweep_cut
+from repro.graphs.ops import node_expansion_of_set
+from repro.graphs.traversal import is_connected
+from repro.pruning.compact import compactify, is_compact
+from repro.pruning.cutfinder import ExhaustiveCutFinder
+from repro.pruning.prune import prune
+from repro.pruning.certificates import verify_culls
+
+from .strategies import connected_graphs, graph_with_subset
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_with_subset(max_nodes=10))
+def test_exact_node_expansion_is_minimum(gs):
+    """The exact value lower-bounds the ratio of every candidate subset."""
+    g, subset = gs
+    exact = node_expansion_exact(g, max_nodes=10).value
+    assert node_expansion_of_set(g, subset) >= exact - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(max_nodes=10))
+def test_node_edge_expansion_sandwich(g):
+    """α ≤ αe ≤ δ·α (§1.3 conventions; both minimised over |S| ≤ n/2)."""
+    node = node_expansion_exact(g, max_nodes=10).value
+    edge = edge_expansion_exact(g, max_nodes=10).value
+    delta = max(g.max_degree, 1)
+    assert node <= edge + 1e-12
+    assert edge <= delta * node + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(min_nodes=3, max_nodes=10))
+def test_sweep_upper_bounds_exact(g):
+    exact = node_expansion_exact(g, max_nodes=10).value
+    cut = best_node_sweep_cut(g)
+    assert cut.ratio >= exact - 1e-12
+    exact_e = edge_expansion_exact(g, max_nodes=10).value
+    cut_e = best_edge_sweep_cut(g)
+    assert cut_e.ratio >= exact_e - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_with_subset(max_nodes=10))
+def test_refine_never_worse(gs):
+    g, subset = gs
+    before = node_expansion_of_set(g, subset)
+    refined = refine_cut(g, subset, "node")
+    assert node_expansion_of_set(g, refined) <= before + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(min_nodes=3, max_nodes=10))
+def test_estimate_brackets_exact(g):
+    est = estimate_node_expansion(g, exact_threshold=4)  # force sweep path
+    exact = node_expansion_exact(g, max_nodes=10).value
+    if g.n > 4:
+        assert est.lower - 1e-9 <= exact <= est.upper + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    connected_graphs(min_nodes=4, max_nodes=10),
+    st.floats(0.1, 1.0),
+)
+def test_prune_postcondition_exact(g, eps):
+    """After Prune with the exhaustive finder, the surviving graph has no
+    cullable set: its exact expansion exceeds the threshold (or |H| ≤ 1)."""
+    alpha = node_expansion_exact(g, max_nodes=10).value
+    assume(alpha > 0)
+    finder = ExhaustiveCutFinder(max_nodes=10)
+    res = prune(g, alpha, eps, finder=finder)
+    assert verify_culls(res)
+    h = res.surviving_graph
+    if h.n >= 2:
+        h_alpha = node_expansion_exact(h, max_nodes=10).value
+        assert h_alpha >= alpha * eps - 1e-9
+    # partition: culled + survivors = everything
+    assert res.n_culled + h.n == g.n
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_with_subset(min_nodes=4, max_nodes=10))
+def test_compactify_contract(gs):
+    """K_G(S) is compact with edge expansion ≤ S's, whenever S qualifies."""
+    from repro.graphs.ops import edge_boundary_count
+    from repro.graphs.traversal import is_subset_connected
+
+    g, subset = gs
+    assume(is_subset_connected(g, subset))
+    assume(2 * subset.size <= g.n)
+    k = compactify(g, subset)
+    assert is_compact(g, k)
+    s_ratio = edge_boundary_count(g, subset) / subset.size
+    k_ratio = edge_boundary_count(g, k) / k.size
+    assert k_ratio <= s_ratio + 1e-9

@@ -1,0 +1,115 @@
+"""Property-based tests for the graph kernel and boundary operators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph, neighbors_of_many
+from repro.graphs.ops import (
+    edge_boundary_count,
+    node_boundary,
+    node_boundary_size,
+)
+from repro.graphs.traversal import (
+    connected_components,
+    connected_components_unionfind,
+)
+
+from .strategies import connected_graphs, graph_with_subset, graphs
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_csr_invariants_hold(g):
+    """Every constructed graph passes structural validation."""
+    g.validate()
+    assert g.indices.shape[0] == 2 * g.m
+    assert int(g.degrees.sum()) == 2 * g.m
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_edge_array_round_trip(g):
+    """Rebuilding from edge_array reproduces the same graph."""
+    rebuilt = Graph.from_edges(g.n, g.edge_array())
+    assert rebuilt == g
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.randoms(use_true_random=False))
+def test_subgraph_composition(g, rnd):
+    """subgraph(A).subgraph(B) equals subgraph(A[B]) with composed ids."""
+    if g.n < 2:
+        return
+    a = sorted(rnd.sample(range(g.n), k=max(1, g.n // 2)))
+    sub1 = g.subgraph(a)
+    if sub1.n == 0:
+        return
+    b = sorted(rnd.sample(range(sub1.n), k=max(1, sub1.n // 2)))
+    sub2 = sub1.subgraph(b)
+    direct = g.subgraph([a[i] for i in b])
+    assert sub2 == direct
+    assert np.array_equal(sub2.original_ids, direct.original_ids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_subset())
+def test_neighbors_of_many_total_degree(gs):
+    g, subset = gs
+    out = neighbors_of_many(g, subset)
+    assert out.shape[0] == int(g.degrees[subset].sum())
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_subset())
+def test_node_boundary_disjoint_and_adjacent(gs):
+    g, subset = gs
+    b = node_boundary(g, subset)
+    sset = set(subset.tolist())
+    assert not (set(b.tolist()) & sset)
+    for v in b.tolist():
+        assert any(u in sset for u in g.neighbors(v).tolist())
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_subset())
+def test_boundary_inequalities(gs):
+    """|Γ(S)| ≤ |∂e S| ≤ δ·|Γ(S)| — the node/edge boundary sandwich used
+    throughout the paper's Section 3 proofs."""
+    g, subset = gs
+    nb = node_boundary_size(g, subset)
+    eb = edge_boundary_count(g, subset)
+    delta = max(g.max_degree, 1)
+    assert nb <= eb
+    assert eb <= delta * nb
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_subset())
+def test_boundary_subadditive_over_union(gs):
+    """Γ(A ∪ B) ⊆ Γ(A) ∪ Γ(B) (Lemma 2.2's first inequality)."""
+    g, subset = gs
+    half = subset[: max(1, subset.size // 2)]
+    rest = subset[max(1, subset.size // 2):]
+    whole = set(node_boundary(g, subset).tolist())
+    parts = set(node_boundary(g, half).tolist())
+    if rest.size:
+        parts |= set(node_boundary(g, rest).tolist())
+    assert whole <= parts
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_components_bfs_equals_unionfind(g):
+    a = connected_components(g)
+    b = connected_components_unionfind(g)
+    # identical partitions
+    remap = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        assert remap.setdefault(x, y) == y
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graphs())
+def test_connected_graph_single_component(g):
+    assert connected_components(g).max() == 0

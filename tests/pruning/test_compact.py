@@ -1,0 +1,102 @@
+"""Unit tests for compact sets and Lemma 3.3's compactification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import cycle_graph, mesh, path_graph, torus
+from repro.graphs.graph import Graph
+from repro.graphs.ops import edge_boundary_count
+from repro.pruning.compact import compactify, is_compact
+
+
+class TestIsCompact:
+    def test_arc_of_cycle_compact(self):
+        g = cycle_graph(8)
+        assert is_compact(g, np.array([0, 1, 2]))
+
+    def test_two_arcs_not_compact(self):
+        g = cycle_graph(8)
+        assert not is_compact(g, np.array([0, 4]))  # set disconnected
+
+    def test_complement_disconnected_not_compact(self):
+        g = path_graph(5)
+        assert not is_compact(g, np.array([2]))  # middle vertex splits path
+
+    def test_empty_and_full_not_compact(self, small_mesh):
+        assert not is_compact(small_mesh, np.array([], dtype=np.int64))
+        assert not is_compact(small_mesh, np.arange(small_mesh.n))
+
+    def test_mesh_block_compact(self):
+        g = mesh([4, 4])
+        block = np.array([0, 1, 4, 5])  # 2x2 corner
+        assert is_compact(g, block)
+
+    def test_mesh_ring_not_compact(self):
+        g = mesh([5, 5])
+        # a ring around the centre: complement = centre + outside, disconnected
+        ring = np.array([6, 7, 8, 11, 13, 16, 17, 18])
+        assert not is_compact(g, ring)
+
+
+class TestCompactify:
+    def test_already_compact_unchanged(self):
+        g = cycle_graph(8)
+        s = np.array([0, 1, 2])
+        assert np.array_equal(compactify(g, s), s)
+
+    def test_returns_compact_set(self):
+        g = path_graph(9)
+        s = np.array([4])  # splits the path
+        k = compactify(g, s)
+        assert is_compact(g, k)
+
+    def test_expansion_never_worse(self):
+        g = path_graph(9)
+        s = np.array([4])
+        k = compactify(g, s)
+        s_ratio = edge_boundary_count(g, s) / s.size
+        k_ratio = edge_boundary_count(g, k) / k.size
+        assert k_ratio <= s_ratio + 1e-9
+
+    def test_case1_absorbs_small_components(self):
+        # star-like: removing the hub side leaves a big component
+        g = Graph.from_edges(
+            7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (1, 3)]
+        )
+        s = np.array([2])
+        k = compactify(g, s)
+        assert is_compact(g, k)
+        k_ratio = edge_boundary_count(g, k) / k.size
+        s_ratio = edge_boundary_count(g, s) / s.size
+        assert k_ratio <= s_ratio + 1e-9
+
+    def test_mesh_cross_set(self):
+        g = mesh([5, 5])
+        # plus-shaped set through the centre: complement is 4 corners
+        s = np.array([2, 7, 10, 11, 12, 13, 14, 17, 22])
+        assert not is_compact(g, s)
+        if 2 * s.size <= g.n:
+            k = compactify(g, s)
+            assert is_compact(g, k)
+
+    def test_empty_rejected(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            compactify(small_mesh, np.array([], dtype=np.int64))
+
+    def test_oversized_rejected(self):
+        g = cycle_graph(8)
+        with pytest.raises(InvalidParameterError):
+            compactify(g, np.arange(5))
+
+    def test_disconnected_s_rejected(self):
+        g = cycle_graph(8)
+        with pytest.raises(InvalidParameterError):
+            compactify(g, np.array([0, 4]))
+
+    def test_half_size_allowed(self):
+        # |S| = n/2 exactly is allowed (Prune2's loop condition)
+        g = cycle_graph(8)
+        s = np.array([0, 1, 2, 3])
+        k = compactify(g, s)
+        assert is_compact(g, k)

@@ -1,0 +1,120 @@
+"""Unit tests for the cut finders (Prune's set-search strategies)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.expansion.exact import edge_expansion_exact, node_expansion_exact
+from repro.graphs.generators import barbell, cycle_graph, mesh, torus
+from repro.graphs.graph import Graph
+from repro.graphs.ops import edge_boundary_count, node_boundary_size
+from repro.graphs.traversal import is_subset_connected
+from repro.pruning.cutfinder import (
+    ExhaustiveCutFinder,
+    HybridCutFinder,
+    SweepCutFinder,
+    default_cut_finder,
+)
+
+
+class TestExhaustive:
+    def test_finds_optimal_node_cut(self):
+        g = cycle_graph(10)
+        finder = ExhaustiveCutFinder()
+        found = finder.find(g, threshold=0.5, kind="node")
+        assert found is not None
+        assert found.ratio == pytest.approx(node_expansion_exact(g).value)
+
+    def test_none_when_threshold_too_low(self):
+        g = cycle_graph(10)
+        finder = ExhaustiveCutFinder()
+        assert finder.find(g, threshold=0.1, kind="node") is None
+
+    def test_edge_kind_matches_exact_at_half(self):
+        g = mesh([3, 3])
+        finder = ExhaustiveCutFinder()
+        found = finder.find(g, threshold=10.0, kind="edge")
+        assert found is not None
+        # the finder's ratio uses |S| as denominator; with |S| <= n/2 this
+        # equals the edge-expansion denominator min(|S|, n-|S|)
+        assert found.ratio <= 10.0
+
+    def test_connected_requirement(self):
+        # two distant singleton-ish sets would be the best unconstrained cut
+        g = cycle_graph(12)
+        finder = ExhaustiveCutFinder()
+        found = finder.find(g, threshold=1.0, kind="edge", require_connected=True)
+        assert found is not None
+        assert is_subset_connected(g, found.nodes)
+
+    def test_verdict_certificate_valid(self):
+        g = mesh([3, 4])
+        finder = ExhaustiveCutFinder()
+        found = finder.find(g, threshold=1.0, kind="node")
+        assert found is not None
+        assert found.boundary == node_boundary_size(g, found.nodes)
+
+    def test_size_cap_rejected(self):
+        g = torus(6, 2)  # 36 nodes
+        finder = ExhaustiveCutFinder(max_nodes=16)
+        with pytest.raises(InvalidParameterError):
+            finder.find(g, 1.0, "node")
+
+    def test_bad_max_nodes(self):
+        with pytest.raises(InvalidParameterError):
+            ExhaustiveCutFinder(max_nodes=30)
+
+    def test_empty_graph(self):
+        assert ExhaustiveCutFinder().find(Graph.empty(0), 1.0, "node") is None
+
+
+class TestSweep:
+    def test_disconnected_returns_component(self):
+        g = Graph.from_edges(8, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7)])
+        finder = SweepCutFinder()
+        found = finder.find(g, threshold=0.0, kind="node")
+        assert found is not None
+        assert found.ratio == 0.0
+        assert np.array_equal(found.nodes, [0, 1, 2])  # the smaller component
+
+    def test_sound_never_above_threshold(self, small_torus):
+        finder = SweepCutFinder()
+        found = finder.find(small_torus, threshold=0.6, kind="node")
+        if found is not None:
+            ratio = node_boundary_size(small_torus, found.nodes) / found.nodes.size
+            assert ratio <= 0.6 + 1e-9
+
+    def test_finds_barbell_bottleneck(self):
+        g = barbell(10, 0)
+        finder = SweepCutFinder()
+        found = finder.find(g, threshold=0.2, kind="edge")
+        assert found is not None
+        assert found.nodes.size == 10  # one clique
+
+    def test_none_on_tiny(self):
+        assert SweepCutFinder().find(Graph.empty(1), 1.0, "node") is None
+
+    def test_connected_requirement_enforced(self):
+        g = barbell(8, 2)
+        finder = SweepCutFinder()
+        found = finder.find(g, threshold=1.0, kind="edge", require_connected=True)
+        assert found is not None
+        assert is_subset_connected(g, found.nodes)
+
+
+class TestHybrid:
+    def test_small_uses_exact(self):
+        g = cycle_graph(10)
+        finder = HybridCutFinder(exact_threshold=14)
+        found = finder.find(g, threshold=0.4, kind="node")
+        assert found is not None
+        assert found.ratio == pytest.approx(2 / 5)
+
+    def test_large_uses_sweep(self):
+        g = torus(8, 2)
+        finder = HybridCutFinder(exact_threshold=14)
+        found = finder.find(g, threshold=1.0, kind="edge")
+        assert found is not None
+
+    def test_default_factory(self):
+        assert isinstance(default_cut_finder(), HybridCutFinder)

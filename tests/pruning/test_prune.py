@@ -1,0 +1,94 @@
+"""Unit tests for Algorithm Prune (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.expansion.exact import node_expansion_exact
+from repro.faults.model import apply_node_faults
+from repro.graphs.generators import cycle_graph, mesh, torus
+from repro.graphs.graph import Graph
+from repro.pruning.certificates import verify_culls
+from repro.pruning.cutfinder import ExhaustiveCutFinder
+from repro.pruning.prune import prune
+
+
+class TestPruneBasics:
+    def test_no_faults_no_culling(self):
+        g = cycle_graph(12)
+        alpha = node_expansion_exact(g).value
+        res = prune(g, alpha, 0.5, finder=ExhaustiveCutFinder())
+        assert res.n_culled == 0
+        assert res.surviving_local.shape[0] == g.n
+        assert res.iterations == 0
+
+    def test_threshold_product(self):
+        g = cycle_graph(12)
+        res = prune(g, 0.4, 0.5, finder=ExhaustiveCutFinder())
+        assert res.threshold == pytest.approx(0.2)
+
+    def test_culls_small_disconnected_fragment(self):
+        g = Graph.from_edges(10, [(i, i + 1) for i in range(8)])  # P9 + isolated 9
+        res = prune(g, 1.0, 0.5, finder=ExhaustiveCutFinder(max_nodes=12))
+        # the isolated node is a zero-expansion set and must be culled;
+        # further culling of the path may follow, but node 9 goes first
+        assert 9 in res.culled_union().tolist()
+
+    def test_culled_sets_recorded_with_ratios(self):
+        g = Graph.from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)])
+        res = prune(g, 1.0, 0.5, finder=ExhaustiveCutFinder())
+        assert res.n_culled > 0
+        for cull in res.culled:
+            assert cull.ratio <= res.threshold + 1e-9
+
+    def test_surviving_graph_original_ids(self):
+        g = mesh([3, 4])
+        faulty = apply_node_faults(g, np.array([5])).surviving
+        res = prune(faulty, 0.5, 0.5, finder=ExhaustiveCutFinder(max_nodes=12))
+        h = res.surviving_graph
+        # original_ids of H resolve through faulty into g
+        assert np.all(np.isin(h.original_ids, np.delete(np.arange(g.n), 5)))
+
+    def test_verify_culls_passes(self):
+        g = Graph.from_edges(9, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)])
+        res = prune(g, 1.0, 0.5, finder=ExhaustiveCutFinder(max_nodes=10))
+        assert verify_culls(res)
+
+    def test_bad_alpha_rejected(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            prune(small_mesh, -1.0, 0.5)
+
+    def test_bad_epsilon_rejected(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            prune(small_mesh, 1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            prune(small_mesh, 1.0, 1.5)
+
+    def test_survivor_fraction(self):
+        g = cycle_graph(8)
+        res = prune(g, node_expansion_exact(g).value, 0.5, finder=ExhaustiveCutFinder())
+        assert res.survivor_fraction == 1.0
+
+
+class TestPrunePostconditions:
+    def test_no_cullable_set_remains_small_graph(self):
+        """After prune with the exhaustive finder, H has no set below threshold
+        — i.e. H's exact expansion exceeds α·ε (the Theorem 2.1 guarantee)."""
+        g = mesh([3, 4])
+        faulty = apply_node_faults(g, np.array([0, 6])).surviving
+        alpha = node_expansion_exact(g).value
+        res = prune(faulty, alpha, 0.5, finder=ExhaustiveCutFinder(max_nodes=12))
+        h = res.surviving_graph
+        if h.n >= 2:
+            h_alpha = node_expansion_exact(h, max_nodes=12).value
+            assert h_alpha >= alpha * 0.5 - 1e-9
+
+    def test_iterations_bounded(self, small_torus):
+        res = prune(small_torus, 10.0, 1.0, max_iterations=small_torus.n + 1)
+        # with an absurd threshold everything is culled in <= n iterations
+        assert res.iterations <= small_torus.n + 1
+
+    def test_everything_culled_under_huge_threshold(self):
+        g = cycle_graph(8)
+        res = prune(g, 100.0, 1.0, finder=ExhaustiveCutFinder())
+        assert res.surviving_local.size <= 1  # nothing with >1 node survives

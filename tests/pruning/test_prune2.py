@@ -1,0 +1,104 @@
+"""Unit tests for Algorithm Prune2 (Figure 2) and its certificates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.expansion.exact import edge_expansion_exact
+from repro.faults.model import apply_node_faults
+from repro.faults.random_faults import random_node_faults
+from repro.graphs.generators import cycle_graph, mesh, torus
+from repro.graphs.graph import Graph
+from repro.pruning.certificates import (
+    theorem21_expansion_bound,
+    theorem21_fault_budget,
+    theorem21_size_bound,
+    theorem34_fault_probability,
+    verify_culls,
+)
+from repro.pruning.compact import is_compact
+from repro.pruning.cutfinder import ExhaustiveCutFinder
+from repro.pruning.prune2 import prune2
+
+
+class TestPrune2:
+    def test_no_faults_no_culling(self):
+        g = cycle_graph(12)
+        ae = edge_expansion_exact(g).value
+        res = prune2(g, ae, 0.5, finder=ExhaustiveCutFinder())
+        assert res.n_culled == 0
+        assert res.kind == "edge"
+
+    def test_culls_disconnected_fragment(self):
+        g = Graph.from_edges(9, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)])
+        res = prune2(g, 1.0, 0.5, finder=ExhaustiveCutFinder(max_nodes=10))
+        assert res.n_culled >= 3  # the 3-node fragment must go
+
+    def test_culled_sets_compact_when_connected(self):
+        """On a connected G_i, each culled region is K_G(S): compact."""
+        g = mesh([3, 4])
+        faulty = apply_node_faults(g, np.array([1])).surviving
+        ae = edge_expansion_exact(g, max_nodes=16).value
+        res = prune2(faulty, ae, 0.9, finder=ExhaustiveCutFinder(max_nodes=12))
+        # replay: first culled set was found in the (connected or not) G_0
+        alive = np.ones(faulty.n, dtype=bool)
+        for cull in res.culled:
+            ids = np.flatnonzero(alive)
+            current = faulty.subgraph(ids)
+            pos = np.searchsorted(ids, cull.nodes)
+            from repro.graphs.traversal import is_connected
+
+            if is_connected(current) and 2 * pos.size <= current.n:
+                assert is_compact(current, pos)
+            alive[cull.nodes] = False
+
+    def test_verify_culls(self):
+        g = mesh([3, 4])
+        faulty = apply_node_faults(g, np.array([5, 6])).surviving
+        res = prune2(faulty, 1.0, 0.5, finder=ExhaustiveCutFinder(max_nodes=12))
+        assert verify_culls(res)
+
+    def test_random_faults_guarantee_small_p(self):
+        g = torus(8, 2)
+        ae = 1.0  # known: band cut 16 edges / 32 nodes = 0.5; use 0.5
+        ae = 0.5
+        eps = 1.0 / (2 * g.max_degree)
+        sc = random_node_faults(g, 0.02, seed=3)
+        res = prune2(sc.surviving, ae, eps)
+        assert res.surviving_local.size >= g.n / 2
+
+    def test_bad_params(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            prune2(small_mesh, -0.5, 0.5)
+        with pytest.raises(InvalidParameterError):
+            prune2(small_mesh, 0.5, 0.0)
+
+
+class TestCertificateBounds:
+    def test_theorem21_size_bound(self):
+        assert theorem21_size_bound(100, 5, 0.5, 2) == pytest.approx(100 - 20)
+
+    def test_theorem21_expansion_bound(self):
+        assert theorem21_expansion_bound(0.8, 4) == pytest.approx(0.6)
+
+    def test_theorem21_fault_budget(self):
+        # k f / alpha <= n/4  =>  f <= alpha n / (4k)
+        assert theorem21_fault_budget(400, 0.5, 2) == 25
+
+    def test_theorem34_probability(self):
+        p = theorem34_fault_probability(4, 2.0)
+        assert p == pytest.approx(1.0 / (2 * np.e * 4**8))
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            theorem21_size_bound(10, 1, 0.5, 1)
+        with pytest.raises(InvalidParameterError):
+            theorem21_expansion_bound(0.5, 0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            theorem21_size_bound(10, 1, 0.0, 2)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(InvalidParameterError):
+            theorem34_fault_probability(4, 0.5)

@@ -1,0 +1,134 @@
+"""Unit tests for routing consequences: stretch, diffusion, congestion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.faults.model import apply_node_faults
+from repro.graphs.generators import barbell, cycle_graph, mesh, path_graph, torus
+from repro.graphs.graph import Graph
+from repro.routing.flow import route_permutation
+from repro.routing.loadbalance import (
+    diffusion_rounds_to_balance,
+    diffusion_step_matrix,
+)
+from repro.routing.paths import (
+    expansion_distance_bound,
+    sampled_diameter,
+    stretch_statistics,
+)
+
+
+class TestPaths:
+    def test_sampled_diameter_cycle(self):
+        g = cycle_graph(12)
+        assert sampled_diameter(g, n_sources=12, seed=0) == 6
+
+    def test_sampled_diameter_lower_bounds_true(self):
+        g = mesh([5, 5])
+        d = sampled_diameter(g, n_sources=3, seed=1)
+        assert d <= 8  # true diameter
+
+    def test_distance_bound_monotone(self):
+        assert expansion_distance_bound(0.1, 100) > expansion_distance_bound(0.5, 100)
+
+    def test_distance_bound_positive_alpha_required(self):
+        with pytest.raises(InvalidParameterError):
+            expansion_distance_bound(0.0, 100)
+
+    def test_stretch_identity(self, small_torus):
+        # surviving == original (no faults): stretch exactly 1
+        sc = apply_node_faults(small_torus, np.array([], dtype=np.int64))
+        stats = stretch_statistics(small_torus, sc.surviving, n_pairs=20, seed=0)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.max == pytest.approx(1.0)
+        assert stats.unreachable == 0
+
+    def test_stretch_increases_with_faults(self):
+        g = torus(10, 2)
+        # remove a full row except one node: paths must detour
+        row = np.arange(10, 19)
+        sc = apply_node_faults(g, row)
+        stats = stretch_statistics(g, sc.surviving, n_pairs=40, seed=1)
+        assert stats.max >= 1.0
+
+    def test_stretch_needs_survivors(self):
+        g = cycle_graph(5)
+        sc = apply_node_faults(g, np.arange(4))
+        with pytest.raises(InvalidParameterError):
+            stretch_statistics(g, sc.surviving, n_pairs=4, seed=0)
+
+
+class TestDiffusion:
+    def test_step_matrix_row_stochastic(self, small_torus):
+        p = diffusion_step_matrix(small_torus)
+        rows = np.asarray(p.sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    def test_conserves_mass(self, small_torus):
+        p = diffusion_step_matrix(small_torus)
+        x = np.zeros(small_torus.n)
+        x[0] = small_torus.n
+        for _ in range(10):
+            x = p @ x
+        assert x.sum() == pytest.approx(small_torus.n)
+
+    def test_converges_on_connected(self, small_torus):
+        res = diffusion_rounds_to_balance(small_torus, seed=0, tolerance=0.1)
+        assert res.converged
+        assert res.rounds > 0
+
+    def test_does_not_converge_disconnected(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        res = diffusion_rounds_to_balance(g, seed=0, max_rounds=50)
+        assert not res.converged
+
+    def test_bottleneck_slower_than_expander(self):
+        bb = barbell(12, 0)
+        tor = torus(5, 2)  # 25 nodes, comparable size
+        r_bb = diffusion_rounds_to_balance(bb, seed=1, tolerance=0.1).rounds
+        r_tor = diffusion_rounds_to_balance(tor, seed=1, tolerance=0.1).rounds
+        assert r_bb > r_tor
+
+    def test_explicit_initial_vector(self, small_mesh):
+        x = np.ones(small_mesh.n)
+        res = diffusion_rounds_to_balance(small_mesh, initial=x, tolerance=0.05)
+        assert res.rounds == 0  # already balanced
+
+    def test_bad_initial(self, small_mesh):
+        with pytest.raises(InvalidParameterError):
+            diffusion_rounds_to_balance(small_mesh, initial=np.ones(3))
+        with pytest.raises(InvalidParameterError):
+            diffusion_rounds_to_balance(small_mesh, initial=np.zeros(small_mesh.n))
+
+
+class TestRoutePermutation:
+    def test_all_routed_connected(self, small_torus):
+        load = route_permutation(small_torus, seed=0)
+        assert load.failed == 0
+        assert load.routed == small_torus.n
+
+    def test_congestion_positive(self, small_torus):
+        load = route_permutation(small_torus, seed=1)
+        assert load.max_congestion >= 1
+        assert load.congestion_imbalance >= 1.0
+
+    def test_partial_demands(self, small_torus):
+        load = route_permutation(small_torus, n_demands=10, seed=2)
+        assert load.routed + load.failed == 10
+
+    def test_failures_on_disconnected(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        load = route_permutation(g, seed=3)
+        assert load.routed + load.failed == 6
+
+    def test_bottleneck_congestion_worse(self):
+        bb = barbell(10, 0)
+        tor = torus(5, 2)
+        c_bb = route_permutation(bb, seed=4).congestion_imbalance
+        c_tor = route_permutation(tor, seed=4).congestion_imbalance
+        assert c_bb > c_tor
+
+    def test_tiny_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            route_permutation(Graph.empty(1))

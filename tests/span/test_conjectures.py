@@ -1,0 +1,59 @@
+"""Unit tests for the open-problem span survey (paper §4)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import butterfly, debruijn, mesh, shuffle_exchange
+from repro.graphs.graph import Graph
+from repro.span.conjectures import SpanSurvey, survey_span
+
+
+class TestSurveySpan:
+    def test_mesh_reference_below_two_plus_approx(self):
+        survey = survey_span(mesh([8, 8]), n_samples=15, seed=0)
+        assert survey.n_samples > 0
+        assert 1.0 <= survey.max_ratio <= 2.5  # approx Steiner slack
+
+    def test_statistics_ordered(self):
+        survey = survey_span(mesh([6, 6]), n_samples=10, seed=1)
+        assert survey.mean_ratio <= survey.p95_ratio + 1e-9
+        assert survey.p95_ratio <= survey.max_ratio + 1e-9
+
+    def test_butterfly_bounded(self):
+        survey = survey_span(butterfly(4), n_samples=10, seed=2)
+        assert survey.max_ratio <= 4.0
+
+    def test_debruijn_handles_structure(self):
+        survey = survey_span(debruijn(6), n_samples=10, seed=3)
+        assert survey.n_samples > 0
+        assert survey.max_ratio >= 1.0
+
+    def test_shuffle_exchange(self):
+        survey = survey_span(shuffle_exchange(6), n_samples=10, seed=4)
+        assert survey.max_ratio >= 1.0
+
+    def test_disconnected_input_uses_largest_component(self):
+        g = Graph.from_edges(
+            12,
+            [(i, i + 1) for i in range(7)] + [(8, 9), (9, 10), (10, 8)],
+        )
+        survey = survey_span(g, n_samples=6, seed=5)
+        assert survey.n_samples >= 1
+
+    def test_row_shape(self):
+        survey = survey_span(mesh([5, 5]), n_samples=5, seed=6)
+        row = survey.row()
+        assert set(row) == {
+            "graph", "n", "samples", "span_max", "span_mean", "span_p95",
+            "exact_frac",
+        }
+
+    def test_exact_fraction_in_range(self):
+        survey = survey_span(mesh([5, 5]), n_samples=8, seed=7)
+        assert 0.0 <= survey.exact_fraction <= 1.0
+
+    def test_deterministic(self):
+        a = survey_span(mesh([6, 6]), n_samples=8, seed=11)
+        b = survey_span(mesh([6, 6]), n_samples=8, seed=11)
+        assert a.max_ratio == b.max_ratio
+        assert a.mean_ratio == b.mean_ratio

@@ -1,0 +1,180 @@
+"""Unit tests for compact-set enumeration, span, and the mesh tree (Thm 3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, NotConnectedError
+from repro.graphs.generators import cycle_graph, mesh, path_graph, torus
+from repro.graphs.graph import Graph
+from repro.graphs.ops import node_boundary
+from repro.pruning.compact import is_compact
+from repro.span.compact_enum import enumerate_compact_sets, random_compact_set
+from repro.span.mesh_tree import (
+    mesh_boundary_tree,
+    virtual_edge_graph_connected,
+    virtual_edges,
+)
+from repro.span.span import span_exact, span_sampled
+
+
+class TestEnumerateCompactSets:
+    def test_all_yielded_sets_compact(self):
+        g = mesh([3, 3])
+        count = 0
+        for u in enumerate_compact_sets(g, max_nodes=9):
+            assert is_compact(g, u)
+            count += 1
+        assert count > 0
+
+    def test_cycle_compact_count(self):
+        # compact sets of C_n = proper arcs: n * (n-1) of them
+        n = 6
+        g = cycle_graph(n)
+        count = sum(1 for _ in enumerate_compact_sets(g, max_nodes=10))
+        assert count == n * (n - 1)
+
+    def test_complement_also_enumerated(self):
+        g = cycle_graph(5)
+        sets = [frozenset(u.tolist()) for u in enumerate_compact_sets(g, max_nodes=8)]
+        full = frozenset(range(5))
+        for s in sets:
+            assert frozenset(full - s) in sets
+
+    def test_size_cap(self):
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_compact_sets(torus(6, 2), max_nodes=16))
+
+
+class TestRandomCompactSet:
+    def test_sampled_sets_compact(self, small_torus):
+        for seed in range(5):
+            u = random_compact_set(small_torus, seed=seed)
+            if u is not None:
+                assert is_compact(small_torus, u)
+
+    def test_target_size_respected(self, small_torus):
+        u = random_compact_set(small_torus, target_size=6, seed=1)
+        assert u is not None
+        assert u.size == 6
+
+    def test_tiny_graph_none(self):
+        assert random_compact_set(Graph.empty(2), seed=0) is None
+
+
+class TestSpanExact:
+    def test_cycle_span(self):
+        # boundary of any arc = 2 endpoints-adjacent nodes; the smallest tree
+        # connecting them goes through the shorter side: for C_6, worst case
+        # tree has 4 nodes on 2 terminals -> span 2
+        g = cycle_graph(6)
+        res = span_exact(g, max_nodes=10)
+        assert res.value == pytest.approx(2.0)
+        assert res.exact
+
+    def test_path_span_one(self):
+        # P_n: boundary of a prefix is 1 node; tree = that node; span 1
+        g = path_graph(6)
+        res = span_exact(g, max_nodes=10)
+        assert res.value == pytest.approx(1.0)
+
+    def test_mesh_span_at_most_two(self):
+        for sides in ([3, 3], [3, 4], [2, 2, 3]):
+            res = span_exact(mesh(sides), max_nodes=14)
+            assert 1.0 <= res.value <= 2.0 + 1e-9
+            assert res.exact
+
+    def test_witness_is_compact(self):
+        g = mesh([3, 3])
+        res = span_exact(g, max_nodes=9)
+        assert is_compact(g, res.witness)
+
+    def test_ratio_consistent(self):
+        g = mesh([3, 3])
+        res = span_exact(g, max_nodes=9)
+        assert res.value == pytest.approx(res.tree_size / res.boundary_size)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(NotConnectedError):
+            span_exact(g)
+
+    def test_tiny_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            span_exact(Graph.from_edges(2, [(0, 1)]))
+
+
+class TestSpanSampled:
+    def test_samples_have_valid_ratios(self, small_torus):
+        samples = span_sampled(small_torus, n_samples=10, seed=0)
+        assert samples
+        for s in samples:
+            assert s.ratio >= 1.0 - 1e-9
+            assert s.tree_size >= s.boundary_size
+
+    def test_mesh_sampled_below_two_generous(self):
+        g = mesh([8, 8])
+        samples = span_sampled(g, n_samples=15, seed=1)
+        # approx Steiner can overshoot; allow the 2-approx factor
+        assert max(s.ratio for s in samples) <= 4.0
+
+
+class TestMeshTree:
+    def test_virtual_edges_symmetric_definition(self):
+        g = mesh([4, 4])
+        b = node_boundary(g, np.array([0, 1, 4, 5]))
+        ev = virtual_edges(g, b)
+        for u, v in ev:
+            diff = np.abs(g.coords[u] - g.coords[v])
+            assert diff.max() <= 1
+            assert np.count_nonzero(diff) <= 2
+
+    def test_lemma37_connectivity_small(self):
+        g = mesh([4, 4])
+        for u in enumerate_compact_sets(g, max_nodes=16):
+            b = node_boundary(g, u)
+            assert virtual_edge_graph_connected(g, b)
+
+    def test_construction_within_bound(self):
+        g = mesh([6, 6])
+        for seed in range(8):
+            u = random_compact_set(g, seed=seed)
+            if u is None:
+                continue
+            res = mesh_boundary_tree(g, u)
+            assert res.virtual_connected
+            assert res.within_bound
+            assert res.ratio <= 2.0
+
+    def test_tree_contains_boundary(self):
+        g = mesh([5, 5])
+        u = random_compact_set(g, target_size=6, seed=3)
+        res = mesh_boundary_tree(g, u)
+        assert np.all(np.isin(res.boundary, res.tree_nodes))
+
+    def test_tree_connected_in_mesh(self):
+        from repro.graphs.traversal import is_subset_connected
+
+        g = mesh([6, 6])
+        u = random_compact_set(g, target_size=8, seed=4)
+        res = mesh_boundary_tree(g, u)
+        if res.virtual_connected:
+            assert is_subset_connected(g, res.tree_nodes)
+
+    def test_3d_mesh_construction(self):
+        g = mesh([4, 4, 4])
+        for seed in range(5):
+            u = random_compact_set(g, seed=seed)
+            if u is None:
+                continue
+            res = mesh_boundary_tree(g, u)
+            assert res.virtual_connected
+            assert res.ratio <= 2.0
+
+    def test_requires_coords(self, small_expander):
+        with pytest.raises(InvalidParameterError):
+            mesh_boundary_tree(small_expander, np.array([0, 1]))
+
+    def test_empty_boundary_rejected(self):
+        g = mesh([3, 3])
+        with pytest.raises(InvalidParameterError):
+            mesh_boundary_tree(g, np.arange(9))

@@ -1,0 +1,123 @@
+"""Unit tests for Laplacians, Fiedler vectors and Cheeger bounds."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import InvalidGraphError, NotConnectedError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube,
+    mesh,
+    path_graph,
+    torus,
+)
+from repro.graphs.graph import Graph
+from repro.spectral.cheeger import cheeger_bounds
+from repro.spectral.eigen import DENSE_CUTOFF, fiedler_vector, spectral_gap
+from repro.spectral.laplacian import (
+    adjacency_matrix,
+    laplacian_matrix,
+    normalized_laplacian,
+)
+
+
+class TestMatrices:
+    def test_adjacency_symmetric(self, small_mesh):
+        a = adjacency_matrix(small_mesh)
+        assert (a != a.T).nnz == 0
+        assert a.sum() == 2 * small_mesh.m
+
+    def test_laplacian_rows_sum_zero(self, small_torus):
+        lap = laplacian_matrix(small_torus)
+        assert np.allclose(np.asarray(lap.sum(axis=1)).ravel(), 0.0)
+
+    def test_laplacian_psd(self, small_mesh):
+        lap = laplacian_matrix(small_mesh).toarray()
+        vals = np.linalg.eigvalsh(lap)
+        assert vals.min() >= -1e-9
+
+    def test_normalized_laplacian_spectrum_range(self, small_cycle):
+        lap = normalized_laplacian(small_cycle).toarray()
+        vals = np.linalg.eigvalsh(lap)
+        assert vals.min() >= -1e-9
+        assert vals.max() <= 2.0 + 1e-9
+
+    def test_normalized_handles_isolated(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        lap = normalized_laplacian(g)
+        assert lap.shape == (3, 3)
+        assert lap[2, 2] == 1.0
+
+
+class TestFiedler:
+    def test_known_cycle_gap(self):
+        # normalized laplacian of C_n: eigenvalues 1 - cos(2 pi k / n)
+        n = 12
+        g = cycle_graph(n)
+        expected = 1 - np.cos(2 * np.pi / n)
+        assert spectral_gap(g) == pytest.approx(expected, rel=1e-6)
+
+    def test_known_complete_gap(self):
+        # normalized laplacian of K_n: lambda_2 = n/(n-1)
+        n = 9
+        assert spectral_gap(complete_graph(n)) == pytest.approx(n / (n - 1), rel=1e-6)
+
+    def test_known_hypercube_gap(self):
+        # Q_d normalized: lambda_2 = 2/d
+        d = 5
+        assert spectral_gap(hypercube(d)) == pytest.approx(2 / d, rel=1e-6)
+
+    def test_vector_orthogonal_to_degree_weighted_one(self, small_mesh):
+        info = fiedler_vector(small_mesh)
+        # v is an eigenvector of the symmetric normalised laplacian for
+        # lambda2; check the eigen equation residual instead of a specific sign
+        lap = normalized_laplacian(small_mesh)
+        resid = lap @ info.vector - info.lambda2 * info.vector
+        assert np.linalg.norm(resid) < 1e-8
+
+    def test_sparse_path_matches_dense(self):
+        g = torus(25, 2)  # 625 nodes > DENSE_CUTOFF -> sparse path
+        assert g.n > DENSE_CUTOFF
+        sparse_gap = spectral_gap(g)
+        lap = normalized_laplacian(g).toarray()
+        vals = np.linalg.eigvalsh(lap)
+        assert sparse_gap == pytest.approx(vals[1], abs=1e-6)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(NotConnectedError):
+            fiedler_vector(g)
+
+    def test_tiny_rejected(self):
+        with pytest.raises(NotConnectedError):
+            fiedler_vector(Graph.empty(1))
+
+
+class TestCheeger:
+    def test_bounds_sandwich_true_conductance(self):
+        # For C_n the conductance is 2/(n/2 * 2)... check inequality directly:
+        g = cycle_graph(16)
+        b = cheeger_bounds(g)
+        # true conductance of C_16: cut 2 edges, min vol = 16 -> 1/8
+        true_phi = 2 / 16
+        assert b.conductance_lower <= true_phi + 1e-9
+        assert b.conductance_upper >= true_phi - 1e-9
+
+    def test_edge_expansion_lower_is_valid(self):
+        g = hypercube(4)
+        b = cheeger_bounds(g)
+        # true edge expansion of Q_4 is 1 (dimension cut)
+        assert b.edge_expansion_lower <= 1.0 + 1e-9
+
+    def test_node_expansion_lower_consistency(self, small_torus):
+        b = cheeger_bounds(small_torus)
+        assert b.node_expansion_lower <= b.edge_expansion_lower
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            cheeger_bounds(Graph.empty(3))
+
+    def test_describe_string(self, small_mesh):
+        assert "λ₂" in cheeger_bounds(small_mesh).describe()

@@ -1,0 +1,59 @@
+"""Unit tests for timing utilities."""
+
+import pytest
+
+from repro.util.timing import StageTimer, Timer
+
+
+class TestTimer:
+    def test_context_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        assert t.elapsed >= 0.0
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_explicit_start_stop(self):
+        t = Timer()
+        t.start()
+        out = t.stop()
+        assert out == t.elapsed >= 0.0
+
+
+class TestStageTimer:
+    def test_stages_recorded(self):
+        st = StageTimer()
+        with st.stage("a"):
+            pass
+        with st.stage("b"):
+            pass
+        assert set(st.elapsed) == {"a", "b"}
+
+    def test_stage_accumulates(self):
+        st = StageTimer()
+        with st.stage("x"):
+            pass
+        first = st.elapsed["x"]
+        with st.stage("x"):
+            pass
+        assert st.elapsed["x"] >= first
+
+    def test_summary_format(self):
+        st = StageTimer()
+        with st.stage("load"):
+            pass
+        assert "load=" in st.summary()
+
+    def test_exception_still_records(self):
+        st = StageTimer()
+        with pytest.raises(ValueError):
+            with st.stage("bad"):
+                raise ValueError("boom")
+        assert "bad" in st.elapsed

@@ -1,0 +1,126 @@
+"""Unit tests for parameter validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_node_array,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises_with_message(self):
+        with pytest.raises(InvalidParameterError, match="boom"):
+            require(False, "boom")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0, np.float64(0.25)])
+    def test_valid(self, p):
+        assert check_probability(p) == float(p)
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, float("nan"), float("inf")])
+    def test_invalid(self, p):
+        with pytest.raises(InvalidParameterError):
+            check_probability(p)
+
+    def test_non_numeric(self):
+        with pytest.raises(InvalidParameterError):
+            check_probability("half")  # type: ignore[arg-type]
+
+    def test_name_in_message(self):
+        with pytest.raises(InvalidParameterError, match="my_p"):
+            check_probability(2.0, "my_p")
+
+
+class TestIntChecks:
+    def test_positive_ok(self):
+        assert check_positive_int(3) == 3
+        assert check_positive_int(np.int64(5)) == 5
+
+    @pytest.mark.parametrize("x", [0, -1, 1.5, True, "3"])
+    def test_positive_bad(self, x):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(x)
+
+    def test_nonnegative_ok(self):
+        assert check_nonnegative_int(0) == 0
+
+    @pytest.mark.parametrize("x", [-1, 0.5, False])
+    def test_nonnegative_bad(self, x):
+        with pytest.raises(InvalidParameterError):
+            check_nonnegative_int(x)
+
+
+class TestFraction:
+    def test_open_left_default(self):
+        assert check_fraction(0.5) == 0.5
+        with pytest.raises(InvalidParameterError):
+            check_fraction(0.0)
+
+    def test_closed_left(self):
+        assert check_fraction(0.0, closed_left=True) == 0.0
+
+    @pytest.mark.parametrize("x", [1.5, -0.2, float("nan")])
+    def test_invalid(self, x):
+        with pytest.raises(InvalidParameterError):
+            check_fraction(x)
+
+
+class TestInRange:
+    def test_float_ok(self):
+        assert check_in_range(2.5, 0, 5) == 2.5
+
+    def test_integer_mode(self):
+        assert check_in_range(3, 0, 5, integer=True) == 3
+        with pytest.raises(InvalidParameterError):
+            check_in_range(3.5, 0, 5, integer=True)
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            check_in_range(6, 0, 5)
+
+
+class TestNodeArray:
+    def test_basic(self):
+        arr = check_node_array([3, 1, 2], 5)
+        assert np.array_equal(arr, [1, 2, 3])
+
+    def test_empty_allowed(self):
+        assert check_node_array([], 5).size == 0
+
+    def test_empty_forbidden(self):
+        with pytest.raises(InvalidParameterError):
+            check_node_array([], 5, allow_empty=False)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            check_node_array([5], 5)
+        with pytest.raises(InvalidParameterError):
+            check_node_array([-1], 5)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_node_array([1, 1], 5)
+
+    def test_duplicates_allowed_when_requested(self):
+        arr = check_node_array([1, 1, 2], 5, unique=False)
+        assert arr.shape == (3,)
+
+    def test_integral_floats_coerced(self):
+        arr = check_node_array(np.array([1.0, 2.0]), 5)
+        assert arr.dtype == np.int64
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_node_array(np.array([1.5]), 5)
