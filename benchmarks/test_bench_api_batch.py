@@ -1,0 +1,46 @@
+"""Batch-engine benchmark: run_batch throughput and baseline deduplication.
+
+Times a 24-scenario sweep (one shared torus graph, random faults at three
+probabilities) through ``repro.api.run_batch``.  The interesting numbers are
+the serial-vs-parallel ratio and the effect of the baseline cache: all 24
+scenarios share one graph spec, so the batch pays for exactly one fault-free
+expansion estimate.
+"""
+
+from repro.api import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
+from repro.api.engine import run, run_batch
+
+
+def _specs(n=24):
+    return [
+        ScenarioSpec(
+            graph=GraphSpec("torus", {"sides": 16, "d": 2}),
+            fault=FaultSpec("random_node", {"p": (0.02, 0.05, 0.10)[s % 3]}),
+            analysis=AnalysisSpec(mode="node"),
+            seed=s,
+            label=f"bench:{s}",
+        )
+        for s in range(n)
+    ]
+
+
+def test_bench_run_batch_serial(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_batch(_specs(), workers=1), rounds=1, iterations=1
+    )
+    assert len(results) == 24
+    assert len({r.baseline_expansion for r in results}) == 1
+
+
+def test_bench_run_batch_parallel(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_batch(_specs(), workers=4), rounds=1, iterations=1
+    )
+    assert len(results) == 24
+
+
+def test_bench_single_run_uncached(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(_specs(1)[0]), rounds=1, iterations=1
+    )
+    assert result.n_original == 256

@@ -6,6 +6,7 @@ the experiment index.
 """
 
 from . import (
+    api,
     core,
     embedding,
     expansion,
@@ -36,6 +37,7 @@ from .span import span_exact, span_sampled
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "Graph",
     "FaultExpansionAnalyzer",
     "FaultToleranceReport",

@@ -1,22 +1,31 @@
-"""Command-line entry point: regenerate any paper experiment.
+"""Command-line entry point: experiments and declarative scenarios.
 
 Usage::
 
     python -m repro --list
     python -m repro e1 e7
-    python -m repro all --seed 3 --scale 2
+    python -m repro all --seed 3 --scale 2 --workers 4
+    python -m repro run scenario.json
+    python -m repro run-batch scenarios.json --workers 8 --json out.json
+    python -m repro components
 
-Each experiment prints its table (the same rows the benchmark suite writes
-to ``benchmarks/results/``).
+``run`` executes one scenario spec (a JSON object); ``run-batch`` executes a
+JSON array of specs, deduplicating baseline expansion estimates and fanning
+scenarios out over worker processes.  ``components`` lists every registered
+generator / fault model / pruner name usable inside specs.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
+from pathlib import Path
 
 from .core.experiments import ALL_EXPERIMENTS
+from .errors import ReproError
 from .util.tables import format_row_dicts
 
 _DESCRIPTIONS = {
@@ -34,27 +43,70 @@ _DESCRIPTIONS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate experiments from 'The Effect of Faults on "
-        "Network Expansion' (SPAA 2004).",
-    )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        help="experiment ids (e1..e11) or 'all'",
-    )
-    parser.add_argument("--list", action="store_true", help="list experiments")
-    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
-    parser.add_argument("--scale", type=int, default=1, help="instance size multiplier")
-    args = parser.parse_args(argv)
+def _load_specs(path: str):
+    """Read one spec (object) or many (array) from a JSON file."""
+    from .api.specs import ScenarioSpec
 
-    if args.list or not args.experiments:
-        for key in ALL_EXPERIMENTS:
-            print(f"{key:>4}  {_DESCRIPTIONS[key]}")
-        return 0
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, list):
+        return [ScenarioSpec.from_dict(d) for d in payload]
+    return [ScenarioSpec.from_dict(payload)]
 
+
+def _emit_results(results, *, json_path: str | None, title: str) -> None:
+    print(format_row_dicts([r.row() for r in results], title=title))
+    if json_path:
+        Path(json_path).write_text(
+            json.dumps([r.to_dict() for r in results], indent=2)
+        )
+        print(f"wrote {len(results)} result(s) to {json_path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .api.engine import run, run_batch
+
+    try:
+        specs = _load_specs(args.spec_file)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"cannot load spec(s) from {args.spec_file}: {exc}", file=sys.stderr)
+        return 2
+    if args.command == "run" and len(specs) != 1:
+        print(
+            f"'run' expects a single spec object; {args.spec_file} holds "
+            f"{len(specs)} — use 'run-batch'",
+            file=sys.stderr,
+        )
+        return 2
+    t0 = time.perf_counter()
+    try:
+        if args.command == "run":
+            results = [run(specs[0])]
+        else:
+            results = run_batch(specs, workers=args.workers)
+    except ReproError as exc:
+        print(f"scenario failed: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - t0
+    _emit_results(
+        results,
+        json_path=args.json,
+        title=f"{len(results)} scenario(s) ({elapsed:.1f}s)",
+    )
+    return 0
+
+
+def _cmd_components() -> int:
+    from .api import FAULT_MODELS, GENERATORS, PRUNERS
+    from .api import engine as _engine  # noqa: F401  (populates the registries)
+
+    for registry in (GENERATORS, FAULT_MODELS, PRUNERS):
+        print(f"{registry.kind}s:")
+        for name in registry:
+            print(f"  {name}")
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
     wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
     if unknown:
@@ -62,8 +114,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for key in wanted:
         runner = ALL_EXPERIMENTS[key]
+        kwargs = {"seed": args.seed, "scale": args.scale}
+        if "workers" in inspect.signature(runner).parameters:
+            kwargs["workers"] = args.workers
         t0 = time.perf_counter()
-        rows = runner(seed=args.seed, scale=args.scale)
+        rows = runner(**kwargs)
         elapsed = time.perf_counter() - t0
         print(
             format_row_dicts(
@@ -72,6 +127,56 @@ def main(argv: list[str] | None = None) -> int:
         )
         print()
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+
+    if argv and argv[0] in ("run", "run-batch"):
+        sub = argparse.ArgumentParser(
+            prog=f"python -m repro {argv[0]}",
+            description="Execute declarative scenario spec(s) from a JSON file.",
+        )
+        sub.add_argument("spec_file", help="JSON file: one spec object or an array")
+        sub.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes for run-batch (default: auto)",
+        )
+        sub.add_argument("--json", default=None, help="also write results as JSON")
+        args = sub.parse_args(argv[1:])
+        args.command = argv[0]
+        return _cmd_run(args)
+
+    if argv and argv[0] == "components":
+        return _cmd_components()
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from 'The Effect of Faults on "
+        "Network Expansion' (SPAA 2004), or run declarative scenarios "
+        "(see 'python -m repro run --help').",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e1..e11) or 'all'; or the subcommands "
+        "run/run-batch/components",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument("--scale", type=int, default=1, help="instance size multiplier")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for batch-capable experiments (0 = auto)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for key in ALL_EXPERIMENTS:
+            print(f"{key:>4}  {_DESCRIPTIONS[key]}")
+        print("\nsubcommands: run <spec.json> | run-batch <specs.json> | components")
+        return 0
+    return _run_experiments(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,100 @@
+"""Declarative scenario API: specs, registries and the batch run engine.
+
+Quickstart — a scenario is data, execution is shared::
+
+    from repro.api import GraphSpec, FaultSpec, AnalysisSpec, ScenarioSpec, run
+
+    spec = ScenarioSpec(
+        graph=GraphSpec("torus", {"sides": 16, "d": 2}),
+        fault=FaultSpec("random_node", {"p": 0.05}),
+        analysis=AnalysisSpec(mode="node"),
+        seed=7,
+    )
+    result = run(spec)                    # RunResult with full provenance
+    run_batch([spec.with_seed(s) for s in range(20)], workers=4)
+
+The same scenario round-trips through JSON (``spec.to_json()`` /
+``ScenarioSpec.from_json``) and runs from the command line::
+
+    python -m repro run scenario.json
+
+See DESIGN.md for the architecture and :mod:`repro.api.registry` for how
+components self-register.
+"""
+
+from .registry import (
+    FAULT_MODELS,
+    GENERATORS,
+    PRUNERS,
+    Registry,
+    RegistryEntry,
+    register_fault_model,
+    register_generator,
+    register_pruner,
+)
+from .specs import (
+    AnalysisSpec,
+    FaultSpec,
+    GraphSpec,
+    RunResult,
+    ScenarioSpec,
+    canonical_json,
+    spec_hash,
+)
+# Engine attributes resolve lazily (PEP 562).  Component modules import
+# ``repro.api.registry`` at their own import time, which initialises this
+# package; importing the engine eagerly here would re-enter those partially
+# initialised modules.  The registry/specs leaves are safe to load eagerly.
+_ENGINE_ATTRS = frozenset(
+    {
+        "analyze_graph",
+        "apply_fault_spec",
+        "baseline_expansion",
+        "default_epsilon",
+        "resolve_finder",
+        "resolve_graph",
+        "run",
+        "run_batch",
+        "engine",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_ATTRS:
+        import importlib
+
+        engine = importlib.import_module(".engine", __name__)
+        return engine if name == "engine" else getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _ENGINE_ATTRS)
+
+
+__all__ = [
+    "GraphSpec",
+    "FaultSpec",
+    "AnalysisSpec",
+    "ScenarioSpec",
+    "RunResult",
+    "canonical_json",
+    "spec_hash",
+    "Registry",
+    "RegistryEntry",
+    "GENERATORS",
+    "FAULT_MODELS",
+    "PRUNERS",
+    "register_generator",
+    "register_fault_model",
+    "register_pruner",
+    "resolve_graph",
+    "resolve_finder",
+    "apply_fault_spec",
+    "baseline_expansion",
+    "default_epsilon",
+    "analyze_graph",
+    "run",
+    "run_batch",
+]

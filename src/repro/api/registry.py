@@ -1,0 +1,142 @@
+"""String-keyed component registries behind the declarative scenario API.
+
+Specs (:mod:`repro.api.specs`) name graph generators, fault models and
+pruners by string; these registries map those names back to the callables
+implementing them.  Components self-register at import time via the
+decorators below — the decorators return the function unchanged, so
+registration adds zero call overhead and the plain Python API is untouched:
+
+    @register_generator("hypercube")
+    def hypercube(d: int) -> Graph: ...
+
+This module is a deliberate leaf (stdlib + :mod:`repro.errors` only) so any
+component module can import it without creating an import cycle.  The engine
+(:mod:`repro.api.engine`) imports the component packages to guarantee the
+registries are populated before any lookup.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..errors import InvalidParameterError, UnknownComponentError
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "GENERATORS",
+    "FAULT_MODELS",
+    "PRUNERS",
+    "register_generator",
+    "register_fault_model",
+    "register_pruner",
+]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component plus the metadata the engine needs."""
+
+    name: str
+    fn: Callable[..., Any]
+    #: The component accepts a ``seed`` keyword (engine threads run seeds in).
+    seeded: bool = False
+    #: Fault model wants the raw generator output (e.g. ``ChainReplacement``
+    #: with its chain bookkeeping) instead of the unwrapped ``Graph``.
+    takes_raw: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class Registry:
+    """A named string → callable table with decorator-style registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    # -- registration -------------------------------------------------- #
+
+    def register(
+        self,
+        name: str,
+        fn: Optional[Callable[..., Any]] = None,
+        *,
+        takes_raw: bool = False,
+        **extra: Any,
+    ):
+        """Register ``fn`` under ``name``; usable as a decorator.
+
+        ``seeded`` is inferred from the signature (a ``seed`` parameter) so
+        the engine knows whether to thread a run seed through the call.
+        """
+
+        def _add(func: Callable[..., Any]) -> Callable[..., Any]:
+            if not name or not isinstance(name, str):
+                raise InvalidParameterError(
+                    f"{self.kind} registry key must be a non-empty string, got {name!r}"
+                )
+            if name in self._entries and self._entries[name].fn is not func:
+                raise InvalidParameterError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(to {self._entries[name].fn.__qualname__})"
+                )
+            try:
+                seeded = "seed" in inspect.signature(func).parameters
+            except (TypeError, ValueError):
+                seeded = False
+            self._entries[name] = RegistryEntry(
+                name=name, fn=func, seeded=seeded, takes_raw=takes_raw, extra=extra
+            )
+            return func
+
+        return _add if fn is None else _add(fn)
+
+    # -- lookup -------------------------------------------------------- #
+
+    def get(self, name: str) -> RegistryEntry:
+        """Look up ``name``, raising a helpful error listing what exists."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<registry empty>"
+            raise UnknownComponentError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+
+#: Graph generators: ``fn(**params) -> Graph`` (or a record with a ``.graph``).
+GENERATORS = Registry("generator")
+#: Fault models: ``fn(graph, **params) -> FaultScenario``.
+FAULT_MODELS = Registry("fault model")
+#: Pruners: ``fn(graph, alpha, epsilon, *, finder=None) -> PruneResult``.
+PRUNERS = Registry("pruner")
+
+
+def register_generator(name: str, **extra: Any):
+    """Class/function decorator registering a graph generator."""
+    return GENERATORS.register(name, **extra)
+
+
+def register_fault_model(name: str, *, takes_raw: bool = False, **extra: Any):
+    """Decorator registering a fault model (``takes_raw`` for models that
+    need the generator's raw record, e.g. the chain-centre attack)."""
+    return FAULT_MODELS.register(name, takes_raw=takes_raw, **extra)
+
+
+def register_pruner(name: str, **extra: Any):
+    """Decorator registering a pruning algorithm."""
+    return PRUNERS.register(name, **extra)

@@ -9,31 +9,33 @@ Typical use (this is the quickstart example):
     >>> report.surviving_fraction > 0.8
     True
 
-The analyzer measures the fault-free expansion once (cached), injects faults
-(random or via a supplied adversary), extracts the faulty network, runs the
-appropriate pruning algorithm and packages a
-:class:`~repro.core.report.FaultToleranceReport`.
+The analyzer is a thin convenience wrapper over the declarative scenario
+API (:mod:`repro.api`): it holds a concrete graph, builds
+:class:`~repro.api.specs.FaultSpec` / :class:`~repro.api.specs.AnalysisSpec`
+records internally, and executes every analysis through the shared
+:func:`repro.api.engine.analyze_graph` pipeline — the same code path
+``repro.api.run`` uses for JSON scenarios.  The fault-free expansion is
+measured once and cached.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Literal, Optional
+from typing import Literal, Optional
 
 import numpy as np
 
-from ..errors import InvalidParameterError
-from ..expansion.estimate import (
-    ExpansionEstimate,
-    estimate_edge_expansion,
-    estimate_node_expansion,
+from ..api.engine import (
+    analyze_graph,
+    apply_fault_spec,
+    baseline_expansion,
+    default_epsilon,
 )
+from ..api.specs import AnalysisSpec, FaultSpec
+from ..errors import InvalidParameterError
+from ..expansion.estimate import ExpansionEstimate
 from ..faults.model import FaultScenario, apply_node_faults
-from ..faults.random_faults import random_node_faults
 from ..graphs.graph import Graph
-from ..graphs.traversal import component_summary
 from ..pruning.cutfinder import CutFinder, default_cut_finder
-from ..pruning.prune import prune
-from ..pruning.prune2 import prune2
 from ..util.rng import SeedLike
 from .report import FaultToleranceReport
 
@@ -79,7 +81,7 @@ class FaultExpansionAnalyzer:
         self.graph = graph
         self.mode: Mode = mode
         if epsilon is None:
-            epsilon = 0.5 if mode == "node" else 1.0 / (2.0 * max(graph.max_degree, 1))
+            epsilon = default_epsilon(graph, mode)
         if not 0 < epsilon <= 1:
             raise InvalidParameterError(f"epsilon must be in (0, 1], got {epsilon}")
         self.epsilon = float(epsilon)
@@ -89,25 +91,39 @@ class FaultExpansionAnalyzer:
 
     # ------------------------------------------------------------------ #
 
+    def analysis_spec(self) -> AnalysisSpec:
+        """The declarative :class:`AnalysisSpec` equivalent of this analyzer
+        (finder objects have no spec form; the default hybrid is assumed)."""
+        return AnalysisSpec(
+            mode=self.mode,
+            pruner="prune" if self.mode == "node" else "prune2",
+            epsilon=self.epsilon,
+            exact_threshold=self.exact_threshold,
+        )
+
     @property
     def baseline_expansion(self) -> ExpansionEstimate:
         """Fault-free expansion (measured once, cached)."""
         if self._baseline is None:
-            if self.mode == "node":
-                self._baseline = estimate_node_expansion(
-                    self.graph, exact_threshold=self.exact_threshold
-                )
-            else:
-                self._baseline = estimate_edge_expansion(
-                    self.graph, exact_threshold=self.exact_threshold
-                )
+            self._baseline = baseline_expansion(
+                self.graph, self.mode, exact_threshold=self.exact_threshold
+            )
         return self._baseline
 
     # ------------------------------------------------------------------ #
 
     def random_faults(self, p: float, seed: SeedLike = None) -> FaultToleranceReport:
         """Inject i.i.d. node faults at probability ``p`` and analyse."""
-        scenario = random_node_faults(self.graph, p, seed)
+        if isinstance(seed, (int, np.integer)) or seed is None:
+            scenario = apply_fault_spec(
+                self.graph,
+                FaultSpec("random_node", {"p": p}),
+                seed=int(seed) if seed is not None else None,
+            )
+        else:  # Generator / SeedSequence inputs bypass the spec layer
+            from ..faults.random_faults import random_node_faults
+
+            scenario = random_node_faults(self.graph, p, seed)
         return self.analyze_scenario(scenario)
 
     def adversarial_faults(self, faulty_nodes: np.ndarray) -> FaultToleranceReport:
@@ -129,12 +145,14 @@ class FaultExpansionAnalyzer:
         :func:`repro.util.tables.format_row_dicts`), the same shape the
         experiment runners produce.
         """
+        from ..faults.random_faults import random_node_faults
         from ..util.rng import spawn
 
+        p_list = list(p_values)  # materialise once — generators are one-shot
         rows: list[dict] = []
-        rngs = spawn(seed, len(list(p_values)) * trials)
+        rngs = spawn(seed, len(p_list) * trials)
         i = 0
-        for p in p_values:
+        for p in p_list:
             fractions, retentions = [], []
             for _ in range(trials):
                 report = self.analyze_scenario(
@@ -161,30 +179,13 @@ class FaultExpansionAnalyzer:
         """Prune the scenario's surviving network and package the report."""
         if scenario.original is not self.graph and scenario.original != self.graph:
             raise InvalidParameterError("scenario was built on a different graph")
-        baseline = self.baseline_expansion
-        faulty = scenario.surviving
-        components = component_summary(faulty)
-        alpha = baseline.value
-        if self.mode == "node":
-            result = prune(faulty, alpha, self.epsilon, finder=self.finder)
-        else:
-            result = prune2(faulty, alpha, self.epsilon, finder=self.finder)
-        h = result.surviving_graph
-        surviving_est: Optional[ExpansionEstimate] = None
-        if h.n >= 2:
-            if self.mode == "node":
-                surviving_est = estimate_node_expansion(
-                    h, exact_threshold=self.exact_threshold
-                )
-            else:
-                surviving_est = estimate_edge_expansion(
-                    h, exact_threshold=self.exact_threshold
-                )
-        return FaultToleranceReport(
-            scenario=scenario,
-            baseline_expansion=baseline,
-            faulty_components=components,
-            prune_result=result,
-            surviving_expansion=surviving_est,
+        return analyze_graph(
+            self.graph,
+            scenario,
+            mode=self.mode,
+            pruner="prune" if self.mode == "node" else "prune2",
             epsilon=self.epsilon,
+            finder=self.finder,
+            exact_threshold=self.exact_threshold,
+            baseline=self.baseline_expansion,
         )

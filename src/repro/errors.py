@@ -16,6 +16,8 @@ __all__ = [
     "NotConnectedError",
     "SolverError",
     "BudgetExceededError",
+    "SpecError",
+    "UnknownComponentError",
 ]
 
 
@@ -45,3 +47,18 @@ class SolverError(ReproError, RuntimeError):
 
 class BudgetExceededError(ReproError, RuntimeError):
     """An iterative procedure exceeded its configured iteration budget."""
+
+
+class SpecError(ReproError, ValueError):
+    """A declarative scenario spec is malformed or fails to round-trip.
+
+    Raised when deserialising :mod:`repro.api.specs` payloads with missing
+    or unknown keys, or values outside their documented domain.
+    """
+
+
+class UnknownComponentError(SpecError, KeyError):
+    """A spec referenced a registry key that was never registered."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return self.args[0] if self.args else ""

@@ -32,6 +32,7 @@ from ..expansion.sweep import best_node_sweep_cut
 from ..util.rng import SeedLike, as_generator
 from ..util.validation import check_nonnegative_int
 from .model import FaultScenario, apply_node_faults
+from ..api.registry import register_fault_model
 
 __all__ = [
     "separator_attack",
@@ -46,6 +47,7 @@ def _check_budget(graph: Graph, budget: int) -> int:
     return min(budget, graph.n)
 
 
+@register_fault_model("separator")
 def separator_attack(graph: Graph, budget: int, *, min_piece: int = 4) -> FaultScenario:
     """Recursive separator deletion.
 
@@ -88,6 +90,7 @@ def separator_attack(graph: Graph, budget: int, *, min_piece: int = 4) -> FaultS
     return apply_node_faults(graph, fault_arr, kind=f"adversary:separator(f={budget})")
 
 
+@register_fault_model("greedy_boundary")
 def greedy_boundary_attack(
     graph: Graph, budget: int, *, candidate_pool: int = 32, seed: SeedLike = None
 ) -> FaultScenario:
@@ -136,6 +139,7 @@ def greedy_boundary_attack(
     return apply_node_faults(graph, fault_arr, kind=f"adversary:greedy(f={budget})")
 
 
+@register_fault_model("degree")
 def degree_attack(graph: Graph, budget: int) -> FaultScenario:
     """Delete the ``budget`` highest-degree nodes (ties by id)."""
     budget = _check_budget(graph, budget)
@@ -144,6 +148,7 @@ def degree_attack(graph: Graph, budget: int) -> FaultScenario:
     return apply_node_faults(graph, faults, kind=f"adversary:degree(f={budget})")
 
 
+@register_fault_model("random_budget")
 def random_attack(graph: Graph, budget: int, seed: SeedLike = None) -> FaultScenario:
     """Uniform random faults at a fixed budget (the fair baseline)."""
     budget = _check_budget(graph, budget)

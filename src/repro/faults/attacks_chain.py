@@ -19,10 +19,12 @@ from ..errors import InvalidParameterError
 from ..graphs.generators.chains import ChainReplacement
 from ..util.rng import SeedLike, as_generator
 from .model import FaultScenario, apply_node_faults
+from ..api.registry import register_fault_model
 
 __all__ = ["chain_center_attack"]
 
 
+@register_fault_model("chain_center", takes_raw=True)
 def chain_center_attack(
     chain: ChainReplacement,
     *,

@@ -29,6 +29,7 @@ from ..expansion.exact import node_expansion_exact
 from ..expansion.local import refine_cut
 from ..expansion.sweep import best_node_sweep_cut
 from .model import FaultScenario, apply_node_faults
+from ..api.registry import register_fault_model
 
 __all__ = ["recursive_bisection_attack", "axis_cut_attack"]
 
@@ -41,6 +42,7 @@ def _min_expansion_set(piece: Graph) -> np.ndarray:
     return refine_cut(piece, cut.nodes, "node")
 
 
+@register_fault_model("recursive_bisection")
 def recursive_bisection_attack(
     graph: Graph, epsilon: float, *, max_rounds: int | None = None
 ) -> FaultScenario:
@@ -112,6 +114,7 @@ def recursive_bisection_attack(
     )
 
 
+@register_fault_model("axis_cut")
 def axis_cut_attack(graph: Graph, epsilon: float) -> FaultScenario:
     """Geometric shattering of a mesh/torus into blocks of ``< ε·n`` nodes.
 

@@ -15,6 +15,7 @@ from ..graphs.graph import Graph
 from ..util.rng import SeedLike, as_generator
 from ..util.validation import check_probability
 from .model import FaultScenario, apply_node_faults
+from ..api.registry import register_fault_model
 
 __all__ = ["random_node_faults", "random_edge_faults", "sample_fault_mask"]
 
@@ -35,6 +36,7 @@ def sample_fault_mask(
     return mask
 
 
+@register_fault_model("random_node")
 def random_node_faults(
     graph: Graph,
     p: float,

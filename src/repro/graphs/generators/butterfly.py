@@ -16,6 +16,7 @@ import numpy as np
 from ...errors import InvalidParameterError
 from ...util.rng import SeedLike, as_generator
 from ..graph import Graph
+from ...api.registry import register_generator
 
 __all__ = ["butterfly", "wrapped_butterfly", "splitter_network"]
 
@@ -24,6 +25,7 @@ def _bfly_id(level: np.ndarray, row: np.ndarray, rows: int) -> np.ndarray:
     return level * np.int64(rows) + row
 
 
+@register_generator("butterfly")
 def butterfly(k: int) -> Graph:
     """The ``k``-dimensional butterfly: ``(k+1)·2^k`` nodes.
 
@@ -53,6 +55,7 @@ def butterfly(k: int) -> Graph:
     return Graph.from_edges(n, edge_arr, name=f"butterfly-{k}", coords=coords)
 
 
+@register_generator("wrapped_butterfly")
 def wrapped_butterfly(k: int) -> Graph:
     """The wrapped butterfly: level ``k`` is merged with level ``0``,
     giving a 4-regular graph on ``k·2^k`` nodes (for ``k ≥ 3``)."""
@@ -77,6 +80,7 @@ def wrapped_butterfly(k: int) -> Graph:
     return Graph.from_edges(n, edge_arr, name=f"wrapped-butterfly-{k}", coords=coords)
 
 
+@register_generator("splitter_network")
 def splitter_network(
     k: int,
     splitter_degree: int = 2,

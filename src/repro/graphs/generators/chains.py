@@ -21,6 +21,7 @@ import numpy as np
 
 from ...errors import InvalidParameterError
 from ..graph import Graph
+from ...api.registry import register_generator
 
 __all__ = ["ChainReplacement", "chain_replacement"]
 
@@ -79,6 +80,7 @@ class ChainReplacement:
         return delta * (self.k // 2) + 1 + delta
 
 
+@register_generator("chain_replacement")
 def chain_replacement(base: Graph, k: int) -> ChainReplacement:
     """Build ``H(base, k)``: every base edge becomes a chain of ``k`` nodes.
 

@@ -9,6 +9,7 @@ import numpy as np
 
 from ...errors import InvalidParameterError
 from ..graph import Graph
+from ...api.registry import register_generator
 
 __all__ = [
     "complete_graph",
@@ -22,6 +23,7 @@ __all__ = [
 ]
 
 
+@register_generator("complete_graph")
 def complete_graph(n: int) -> Graph:
     """``K_n``.  Critical survival probability ``1/(n-1)`` (Erdős–Rényi)."""
     if n < 0:
@@ -33,6 +35,7 @@ def complete_graph(n: int) -> Graph:
     return Graph.from_edges(n, edges, name=f"K{n}")
 
 
+@register_generator("cycle_graph")
 def cycle_graph(n: int) -> Graph:
     """``C_n`` (requires ``n >= 3``)."""
     if n < 3:
@@ -42,6 +45,7 @@ def cycle_graph(n: int) -> Graph:
     return Graph.from_edges(n, edges, name=f"C{n}")
 
 
+@register_generator("path_graph")
 def path_graph(n: int) -> Graph:
     """``P_n``: the path on ``n`` nodes."""
     if n < 1:
@@ -53,6 +57,7 @@ def path_graph(n: int) -> Graph:
     return Graph.from_edges(n, edges, name=f"P{n}")
 
 
+@register_generator("star_graph")
 def star_graph(n_leaves: int) -> Graph:
     """Star with one hub (id 0) and ``n_leaves`` leaves."""
     if n_leaves < 1:
@@ -62,6 +67,7 @@ def star_graph(n_leaves: int) -> Graph:
     return Graph.from_edges(n_leaves + 1, edges, name=f"star-{n_leaves}")
 
 
+@register_generator("complete_bipartite")
 def complete_bipartite(a: int, b: int) -> Graph:
     """``K_{a,b}`` with parts ``0..a-1`` and ``a..a+b-1``."""
     if a < 1 or b < 1:
@@ -71,6 +77,7 @@ def complete_bipartite(a: int, b: int) -> Graph:
     return Graph.from_edges(a + b, np.column_stack([left, right]), name=f"K{a},{b}")
 
 
+@register_generator("barbell")
 def barbell(clique_size: int, bridge_length: int = 0) -> Graph:
     """Two ``K_n`` cliques joined by a path of ``bridge_length`` extra nodes.
 
@@ -96,6 +103,7 @@ def barbell(clique_size: int, bridge_length: int = 0) -> Graph:
                             name=f"barbell-{c}-{bridge_length}")
 
 
+@register_generator("ring_of_cliques")
 def ring_of_cliques(n_cliques: int, clique_size: int) -> Graph:
     """``n_cliques`` copies of ``K_s`` arranged in a ring, consecutive cliques
     joined by one edge.  Expansion ``Θ(1/(s·n_cliques))`` — a uniform-expansion
@@ -122,6 +130,7 @@ def ring_of_cliques(n_cliques: int, clique_size: int) -> Graph:
     )
 
 
+@register_generator("binary_tree")
 def binary_tree(depth: int) -> Graph:
     """Complete binary tree of ``2^{depth+1} - 1`` nodes (heap indexing)."""
     if depth < 0:

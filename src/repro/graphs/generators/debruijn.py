@@ -13,10 +13,12 @@ import numpy as np
 
 from ...errors import InvalidParameterError
 from ..graph import Graph
+from ...api.registry import register_generator
 
 __all__ = ["debruijn", "shuffle_exchange"]
 
 
+@register_generator("debruijn")
 def debruijn(k: int) -> Graph:
     """Binary de Bruijn graph on ``2^k`` nodes.
 
@@ -39,6 +41,7 @@ def debruijn(k: int) -> Graph:
     return Graph.from_edges(n, edges, name=f"debruijn-{k}")
 
 
+@register_generator("shuffle_exchange")
 def shuffle_exchange(k: int) -> Graph:
     """Binary shuffle-exchange graph on ``2^k`` nodes.
 

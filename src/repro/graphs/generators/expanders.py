@@ -21,10 +21,12 @@ from ...errors import InvalidParameterError
 from ...util.rng import SeedLike
 from ..graph import Graph
 from .random_graphs import random_regular
+from ...api.registry import register_generator
 
 __all__ = ["margulis_expander", "chordal_cycle", "expander"]
 
 
+@register_generator("margulis_expander")
 def margulis_expander(m: int) -> Graph:
     """Margulis–Gabber–Galil expander on ``n = m²`` nodes.
 
@@ -72,6 +74,7 @@ def _is_prime(p: int) -> bool:
     return True
 
 
+@register_generator("chordal_cycle")
 def chordal_cycle(p: int) -> Graph:
     """Chordal-cycle expander on a prime ``p`` of nodes.
 
@@ -90,6 +93,7 @@ def chordal_cycle(p: int) -> Graph:
     return Graph.from_edges(p, np.concatenate(edges, axis=0), name=f"chordal-{p}")
 
 
+@register_generator("expander")
 def expander(n: int, degree: int = 4, seed: SeedLike = None) -> Graph:
     """Constant-degree expander on (approximately) ``n`` nodes.
 

@@ -15,10 +15,12 @@ import numpy as np
 
 from ...errors import InvalidParameterError
 from ..graph import Graph
+from ...api.registry import register_generator
 
 __all__ = ["hypercube"]
 
 
+@register_generator("hypercube")
 def hypercube(d: int) -> Graph:
     """The ``d``-dimensional hypercube ``Q_d`` on ``2^d`` nodes.
 

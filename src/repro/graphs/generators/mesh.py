@@ -19,6 +19,7 @@ import numpy as np
 from ...errors import InvalidParameterError
 from ...util.rng import SeedLike, as_generator
 from ..graph import Graph
+from ...api.registry import register_generator
 
 __all__ = ["mesh", "torus", "can_overlay", "mesh_coords", "coord_to_id"]
 
@@ -79,6 +80,7 @@ def _grid_graph(sides: np.ndarray, wrap: bool, name: str) -> Graph:
     return Graph.from_edges(n, edge_arr, name=name, coords=coords)
 
 
+@register_generator("mesh")
 def mesh(sides: Sequence[int] | int, d: int | None = None) -> Graph:
     """d-dimensional mesh (grid) graph.
 
@@ -101,6 +103,7 @@ def mesh(sides: Sequence[int] | int, d: int | None = None) -> Graph:
     return _grid_graph(sides_arr, wrap=False, name=f"mesh-{label}")
 
 
+@register_generator("torus")
 def torus(sides: Sequence[int] | int, d: int | None = None) -> Graph:
     """d-dimensional torus: the mesh with wrap-around edges per axis.
 
@@ -114,6 +117,7 @@ def torus(sides: Sequence[int] | int, d: int | None = None) -> Graph:
     return _grid_graph(sides_arr, wrap=True, name=f"torus-{label}")
 
 
+@register_generator("can_overlay")
 def can_overlay(
     n_peers: int,
     d: int,

@@ -16,10 +16,12 @@ import numpy as np
 from ...errors import InvalidParameterError, SolverError
 from ...util.rng import SeedLike, as_generator
 from ..graph import Graph
+from ...api.registry import register_generator
 
 __all__ = ["erdos_renyi", "gnm_random", "random_regular"]
 
 
+@register_generator("erdos_renyi")
 def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
     """G(n, p): each of the ``C(n,2)`` edges present independently with prob ``p``.
 
@@ -42,6 +44,7 @@ def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
     return Graph.from_edges(n, edges, name=f"gnp-{n}-{p:g}")
 
 
+@register_generator("gnm_random")
 def gnm_random(n: int, m: int, seed: SeedLike = None) -> Graph:
     """G(n, m): ``m`` distinct edges drawn uniformly without replacement."""
     if n < 0:
@@ -76,6 +79,7 @@ def gnm_random(n: int, m: int, seed: SeedLike = None) -> Graph:
     return Graph.from_edges(n, edges, name=f"gnm-{n}-{m}")
 
 
+@register_generator("random_regular")
 def random_regular(n: int, d: int, seed: SeedLike = None, *, max_tries: int = 50) -> Graph:
     """Random ``d``-regular simple graph via the pairing model with repair.
 

@@ -26,6 +26,7 @@ from ..errors import BudgetExceededError, InvalidParameterError
 from ..graphs.graph import Graph
 from ..util.validation import check_fraction
 from .cutfinder import CutFinder, CutKind, default_cut_finder
+from ..api.registry import register_pruner
 
 __all__ = ["PruneResult", "prune", "CulledSet"]
 
@@ -80,6 +81,7 @@ class PruneResult:
         return np.sort(np.concatenate([c.nodes for c in self.culled]))
 
 
+@register_pruner("prune")
 def prune(
     graph: Graph,
     alpha: float,

@@ -35,10 +35,12 @@ from ..util.validation import check_fraction
 from .compact import compactify, is_compact
 from .cutfinder import CutFinder, default_cut_finder
 from .prune import CulledSet, PruneResult
+from ..api.registry import register_pruner
 
 __all__ = ["prune2"]
 
 
+@register_pruner("prune2")
 def prune2(
     graph: Graph,
     alpha_e: float,

@@ -1,0 +1,89 @@
+"""CLI smoke tests for ``python -m repro run`` / ``run-batch`` / ``components``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.api.specs import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
+
+
+@pytest.fixture
+def scenario_dict():
+    return ScenarioSpec(
+        graph=GraphSpec("torus", {"sides": 8, "d": 2}),
+        fault=FaultSpec("random_node", {"p": 0.1}),
+        analysis=AnalysisSpec(mode="node"),
+        seed=3,
+        label="cli-smoke",
+    ).to_dict()
+
+
+class TestRunCommand:
+    def test_run_single_spec(self, tmp_path, capsys, scenario_dict):
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(json.dumps(scenario_dict))
+        assert main(["run", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-smoke" in out
+        assert "torus-8x8" in out
+
+    def test_run_writes_json_results(self, tmp_path, capsys, scenario_dict):
+        spec_file = tmp_path / "scenario.json"
+        out_file = tmp_path / "results.json"
+        spec_file.write_text(json.dumps(scenario_dict))
+        assert main(["run", str(spec_file), "--json", str(out_file)]) == 0
+        results = json.loads(out_file.read_text())
+        assert len(results) == 1
+        assert results[0]["n_original"] == 64
+        assert results[0]["spec"]["label"] == "cli-smoke"
+
+    def test_run_batch(self, tmp_path, capsys, scenario_dict):
+        batch = [dict(scenario_dict, seed=s) for s in range(5)]
+        spec_file = tmp_path / "batch.json"
+        spec_file.write_text(json.dumps(batch))
+        assert main(["run-batch", str(spec_file), "--workers", "2"]) == 0
+        assert "5 scenario(s)" in capsys.readouterr().out
+
+    def test_run_rejects_array(self, tmp_path, capsys, scenario_dict):
+        spec_file = tmp_path / "batch.json"
+        spec_file.write_text(json.dumps([scenario_dict, scenario_dict]))
+        assert main(["run", str(spec_file)]) == 2
+        assert "run-batch" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_malformed_spec(self, tmp_path, capsys):
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(json.dumps({"graph": {"generator": "torus"}, "oops": 1}))
+        assert main(["run", str(spec_file)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_unknown_component_fails_cleanly(self, tmp_path, capsys, scenario_dict):
+        scenario_dict["graph"]["generator"] = "warp_core"
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(json.dumps(scenario_dict))
+        assert main(["run", str(spec_file)]) == 1
+        assert "unknown generator" in capsys.readouterr().err
+
+
+class TestComponentsCommand:
+    def test_lists_registries(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("generators:", "fault models:", "pruners:",
+                       "torus", "random_node", "prune2"):
+            assert needle in out
+
+
+class TestExperimentPathStillWorks:
+    def test_list_mentions_subcommands(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "run-batch" in out
+
+    def test_workers_flag_accepted(self, capsys):
+        assert main(["e2", "--seed", "1", "--workers", "1"]) == 0
+        assert "alpha_times_k" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Registry behaviour: population by decorators, lookups, error paths."""
+
+import pytest
+
+from repro.api.registry import (
+    FAULT_MODELS,
+    GENERATORS,
+    PRUNERS,
+    Registry,
+)
+from repro.errors import (
+    InvalidParameterError,
+    ReproError,
+    SpecError,
+    UnknownComponentError,
+)
+
+# Importing the engine guarantees the component packages have registered.
+import repro.api.engine  # noqa: F401
+
+
+class TestPopulation:
+    def test_core_generators_registered(self):
+        for name in (
+            "torus", "mesh", "hypercube", "expander", "chain_replacement",
+            "butterfly", "debruijn", "complete_graph", "gnm_random",
+        ):
+            assert name in GENERATORS, name
+
+    def test_fault_models_registered(self):
+        for name in (
+            "random_node", "separator", "degree", "greedy_boundary",
+            "random_budget", "chain_center", "recursive_bisection", "axis_cut",
+        ):
+            assert name in FAULT_MODELS, name
+
+    def test_pruners_registered(self):
+        assert set(PRUNERS.names()) >= {"prune", "prune2"}
+
+    def test_decorator_preserves_function(self):
+        from repro.graphs.generators import torus
+        from repro.pruning.prune import prune
+
+        assert GENERATORS.get("torus").fn is torus
+        assert PRUNERS.get("prune").fn is prune
+
+    def test_seed_detection(self):
+        assert GENERATORS.get("expander").seeded
+        assert not GENERATORS.get("hypercube").seeded
+        assert FAULT_MODELS.get("random_node").seeded
+        assert not FAULT_MODELS.get("separator").seeded
+
+    def test_chain_center_takes_raw(self):
+        assert FAULT_MODELS.get("chain_center").takes_raw
+        assert not FAULT_MODELS.get("random_node").takes_raw
+
+
+class TestLookupErrors:
+    def test_unknown_key_raises_with_listing(self):
+        with pytest.raises(UnknownComponentError, match="torus"):
+            GENERATORS.get("no_such_generator")
+
+    def test_unknown_component_is_repro_error(self):
+        with pytest.raises(ReproError):
+            FAULT_MODELS.get("nope")
+        with pytest.raises(SpecError):
+            PRUNERS.get("nope")
+        with pytest.raises(KeyError):  # also a KeyError for dict-style callers
+            PRUNERS.get("nope")
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        reg = Registry("thing")
+
+        @reg.register("x")
+        def f():
+            return 1
+
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            reg.register("x")(lambda: 2)
+
+    def test_reregistering_same_function_is_idempotent(self):
+        reg = Registry("thing")
+
+        def f():
+            return 1
+
+        reg.register("x", f)
+        reg.register("x", f)  # same object: no error (module re-imports)
+        assert reg.get("x").fn is f
+
+    def test_empty_name_rejected(self):
+        reg = Registry("thing")
+        with pytest.raises(InvalidParameterError):
+            reg.register("")(lambda: 1)
+
+    def test_iteration_and_len(self):
+        reg = Registry("thing")
+        reg.register("b", lambda: 1)
+        reg.register("a", lambda: 2)
+        assert list(reg) == ["a", "b"]
+        assert len(reg) == 2
+        assert "a" in reg and "c" not in reg

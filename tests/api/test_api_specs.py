@@ -1,0 +1,189 @@
+"""Spec dataclasses: validation, dict/JSON round-trips (incl. property tests)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.specs import (
+    AnalysisSpec,
+    FaultSpec,
+    GraphSpec,
+    ScenarioSpec,
+    spec_hash,
+)
+from repro.errors import SpecError
+
+# JSON-safe parameter values (what spec params may carry).
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+param_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=10), json_scalars, max_size=4
+)
+
+
+@st.composite
+def graph_specs(draw, max_depth=2):
+    params = dict(draw(param_dicts))
+    if max_depth > 0 and draw(st.booleans()):
+        params["base"] = draw(graph_specs(max_depth=max_depth - 1))
+    return GraphSpec(draw(st.text(min_size=1, max_size=10)), params)
+
+
+@st.composite
+def scenario_specs(draw):
+    fault = None
+    if draw(st.booleans()):
+        fault = FaultSpec(draw(st.text(min_size=1, max_size=10)), draw(param_dicts))
+    analysis = AnalysisSpec(
+        mode=draw(st.sampled_from(["node", "edge"])),
+        pruner=draw(st.sampled_from([None, "prune", "prune2"])),
+        epsilon=draw(st.one_of(st.none(), st.floats(min_value=0.01, max_value=1.0))),
+        finder=draw(st.sampled_from([None, "hybrid", "sweep"])),
+        exact_threshold=draw(st.integers(min_value=0, max_value=30)),
+        measure_expansion=draw(st.booleans()),
+    )
+    return ScenarioSpec(
+        graph=draw(graph_specs()),
+        fault=fault,
+        analysis=analysis,
+        seed=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=2**62))),
+        label=draw(st.text(max_size=10)),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_specs())
+    def test_graph_spec_dict_round_trip(self, spec):
+        assert GraphSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(scenario_specs())
+    def test_scenario_dict_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenario_specs())
+    def test_scenario_json_round_trip(self, spec):
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.hash() == spec.hash()
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenario_specs())
+    def test_dict_form_is_json_serialisable(self, spec):
+        json.dumps(spec.to_dict())  # must not raise
+
+    def test_nested_graph_spec_round_trips(self):
+        spec = GraphSpec(
+            "chain_replacement",
+            {"base": GraphSpec("expander", {"n": 32, "degree": 4, "seed": 1}), "k": 4},
+        )
+        restored = GraphSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert isinstance(restored.params["base"], GraphSpec)
+
+
+class TestHashing:
+    def test_hash_is_content_based(self):
+        a = GraphSpec("torus", {"sides": 8, "d": 2})
+        b = GraphSpec("torus", {"d": 2, "sides": 8})  # key order irrelevant
+        assert spec_hash(a) == spec_hash(b) == a.key()
+
+    def test_hash_differs_on_params(self):
+        a = GraphSpec("torus", {"sides": 8, "d": 2})
+        b = GraphSpec("torus", {"sides": 9, "d": 2})
+        assert spec_hash(a) != spec_hash(b)
+
+    def test_with_seed_changes_hash_not_graph_key(self):
+        spec = ScenarioSpec(graph=GraphSpec("torus", {"sides": 8, "d": 2}), seed=1)
+        other = spec.with_seed(2)
+        assert spec.hash() != other.hash()
+        assert spec.graph.key() == other.graph.key()
+
+
+class TestValidation:
+    def test_empty_generator_rejected(self):
+        with pytest.raises(SpecError):
+            GraphSpec("")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SpecError):
+            AnalysisSpec(mode="vertex")
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(SpecError):
+            AnalysisSpec(epsilon=1.5)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError):
+            GraphSpec.from_dict({"generator": "torus", "params": {}, "extra": 1})
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(
+                {"graph": {"generator": "torus", "params": {}}, "oops": True}
+            )
+
+    def test_missing_graph_rejected(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict({"seed": 1})
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec(graph=GraphSpec("torus"), seed="seven")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_json("{not json")
+
+    def test_non_json_param_rejected_at_construction(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(SpecError, match="not.*JSON-serialisable"):
+            GraphSpec("torus", {"sides": Opaque()})
+
+    def test_numpy_scalar_params_normalised(self):
+        import numpy as np
+
+        spec = GraphSpec("torus", {"sides": np.int64(8), "d": np.int32(2)})
+        assert spec.params == {"sides": 8, "d": 2}
+        assert type(spec.params["sides"]) is int
+        assert GraphSpec.from_dict(spec.to_dict()) == spec
+
+    def test_numpy_array_params_normalised(self):
+        import numpy as np
+
+        spec = GraphSpec("mesh", {"sides": np.array([4, 4])})
+        assert spec.params == {"sides": [4, 4]}
+        assert GraphSpec.from_dict(spec.to_dict()) == spec
+
+    def test_specs_are_hashable_and_set_dedupable(self):
+        a = ScenarioSpec(graph=GraphSpec("torus", {"sides": 8, "d": 2}), seed=1)
+        b = ScenarioSpec(graph=GraphSpec("torus", {"d": 2, "sides": 8}), seed=1)
+        c = a.with_seed(2)
+        assert hash(a) == hash(b) and a == b
+        assert {a, b, c} == {a, c}
+        assert hash(GraphSpec("torus", {"sides": 8, "d": 2}))  # no TypeError
+
+    def test_tuple_params_normalised_to_lists(self):
+        spec = GraphSpec("mesh", {"sides": (4, 4)})
+        assert spec.params == {"sides": [4, 4]}
+        assert GraphSpec.from_dict(spec.to_dict()) == spec
+
+    def test_graph_spec_inside_list_rejected(self):
+        with pytest.raises(SpecError, match="direct parameter value"):
+            GraphSpec("x", {"bases": [GraphSpec("torus", {"sides": 4, "d": 2})]})
+
+    def test_graph_spec_in_fault_or_finder_params_rejected(self):
+        inner = GraphSpec("torus", {"sides": 4, "d": 2})
+        with pytest.raises(SpecError, match="GraphSpec"):
+            FaultSpec("random_node", {"g": inner, "p": 0.1})
+        with pytest.raises(SpecError, match="GraphSpec"):
+            AnalysisSpec(finder="sweep", finder_params={"g": inner})

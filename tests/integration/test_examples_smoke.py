@@ -31,6 +31,7 @@ class TestExamplesSmoke:
             "adversarial_attack_planning",
             "mesh_resilience_study",
             "percolation_thresholds",
+            "scenario_specs",
         } <= present
 
     def test_quickstart_runs(self, capsys):
@@ -51,3 +52,10 @@ class TestExamplesSmoke:
         out = capsys.readouterr().out
         assert "chain centres (Thm 2.3)" in out
         assert "attack comparison" in out
+
+    def test_scenario_specs_runs(self, capsys):
+        _load("scenario_specs").main()
+        out = capsys.readouterr().out
+        assert "A scenario is just JSON" in out
+        assert "40-scenario batch" in out
+        assert "replayed fingerprint matches" in out

@@ -1,0 +1,5 @@
+"""Property-based tests (hypothesis).
+
+This package ``__init__`` exists so pytest imports the test modules as a
+package and the relative import of :mod:`.strategies` resolves.
+"""
