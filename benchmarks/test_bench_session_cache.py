@@ -1,0 +1,70 @@
+"""Session-cache benchmark: cold execution vs warm store reads.
+
+Runs a 24-scenario sweep (one shared torus graph, random faults at three
+probabilities) through a store-backed :class:`repro.api.session.Session`
+twice.  The cold pass executes every scenario and appends it to the store;
+the warm pass must be pure deserialisation — zero engine calls — and the
+assertion pins the acceptance bar of a >=10x speedup so cache regressions
+show up in the perf trajectory.
+"""
+
+import time
+
+from repro.api import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
+from repro.api.session import Session
+
+
+def _specs(n=24):
+    return [
+        ScenarioSpec(
+            graph=GraphSpec("torus", {"sides": 16, "d": 2}),
+            fault=FaultSpec("random_node", {"p": (0.02, 0.05, 0.10)[s % 3]}),
+            analysis=AnalysisSpec(mode="node"),
+            seed=s,
+            label=f"bench:{s}",
+        )
+        for s in range(n)
+    ]
+
+
+def test_bench_session_cache_cold_vs_warm(benchmark, tmp_path):
+    store = tmp_path / "store"
+    specs = _specs()
+
+    t0 = time.perf_counter()
+    cold = Session(store).run_batch(specs)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_session = Session(store)
+    warm = warm_session.run_batch(specs)
+    warm_s = time.perf_counter() - t0
+
+    assert warm_session.hits == 24 and warm_session.misses == 0
+    assert [r.fingerprint() for r in warm] == [r.fingerprint() for r in cold]
+    assert cold_s / warm_s >= 10, (
+        f"warm cache speedup collapsed: cold {cold_s:.3f}s / warm {warm_s:.3f}s "
+        f"= {cold_s / warm_s:.1f}x (acceptance floor: 10x)"
+    )
+
+    # Recorded number: the steady-state warm read (fresh Session each round,
+    # so every iteration re-parses the store from disk).
+    results = benchmark.pedantic(
+        lambda: Session(store).run_batch(specs), rounds=3, iterations=1
+    )
+    assert len(results) == 24
+
+
+def test_bench_session_run_iter_streaming(benchmark, tmp_path):
+    """Time-to-first-result of the streaming path on a cold store."""
+    specs = _specs(8)
+
+    def first_result():
+        session = Session(tmp_path / f"s{time.monotonic_ns()}")
+        stream = session.run_iter(specs)
+        first = next(stream)
+        stream.close()
+        return first
+
+    result = benchmark.pedantic(first_result, rounds=1, iterations=1)
+    assert result.seed == 0

@@ -1,18 +1,27 @@
-"""Command-line entry point: experiments and declarative scenarios.
+"""Command-line entry point: experiments, declarative scenarios, cache ops.
 
 Usage::
 
     python -m repro --list
     python -m repro e1 e7
-    python -m repro all --seed 3 --scale 2 --workers 4
+    python -m repro all --seed 3 --scale 2 --workers 4 --store .repro-cache
     python -m repro run scenario.json
     python -m repro run-batch scenarios.json --workers 8 --json out.json
+    python -m repro run-batch scenarios.json --store sweep-cache --resume
+    python -m repro cache stats --store sweep-cache
+    python -m repro registry
     python -m repro components
 
 ``run`` executes one scenario spec (a JSON object); ``run-batch`` executes a
 JSON array of specs, deduplicating baseline expansion estimates and fanning
-scenarios out over worker processes.  ``components`` lists every registered
-generator / fault model / pruner name usable inside specs.
+scenarios out over worker processes.  ``--store PATH`` attaches a persistent
+result store: completed scenarios are appended as they finish and identical
+scenarios are served from disk instead of re-executing, which is also what
+makes an interrupted sweep resumable — rerun the same command and only the
+missing scenarios execute.  ``--resume`` is shorthand for ``--store`` at the
+default location (``.repro-cache``).  ``cache stats|prune|clear`` inspects
+and maintains a store.  ``registry`` lists every registered component with
+its metadata; ``components`` is the bare-names legacy listing.
 """
 
 from __future__ import annotations
@@ -27,6 +36,10 @@ from pathlib import Path
 from .core.experiments import ALL_EXPERIMENTS
 from .errors import ReproError
 from .util.tables import format_row_dicts
+
+#: Store directory used by ``--resume`` and the ``cache`` subcommand when no
+#: explicit ``--store`` is given.
+DEFAULT_STORE = ".repro-cache"
 
 _DESCRIPTIONS = {
     "e1": "Theorem 2.1 — Prune under adversarial faults",
@@ -62,9 +75,26 @@ def _emit_results(results, *, json_path: str | None, title: str) -> None:
         print(f"wrote {len(results)} result(s) to {json_path}")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from .api.engine import run, run_batch
+def _store_path(args: argparse.Namespace) -> str | None:
+    """Resolve the ``--store`` / ``--resume`` pair to a store directory."""
+    if args.store:
+        return args.store
+    return DEFAULT_STORE if getattr(args, "resume", False) else None
 
+
+def _open_session(store: str | None, workers: int | None):
+    """Build a Session, turning an unusable store path (existing file,
+    permissions, ...) into the CLI's one-line-error contract."""
+    from .api.session import Session
+
+    try:
+        return Session(store=store, workers=workers), 0
+    except OSError as exc:
+        print(f"cannot open store at {store}: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     try:
         specs = _load_specs(args.spec_file)
     except (OSError, ValueError, ReproError) as exc:
@@ -77,12 +107,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    store = _store_path(args)
+    session, err = _open_session(store, args.workers)
+    if session is None:
+        return err
     t0 = time.perf_counter()
     try:
         if args.command == "run":
-            results = [run(specs[0])]
+            results = [session.run(specs[0])]
         else:
-            results = run_batch(specs, workers=args.workers)
+            results = session.run_batch(specs)
     except ReproError as exc:
         print(f"scenario failed: {exc}", file=sys.stderr)
         return 1
@@ -92,14 +126,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
         json_path=args.json,
         title=f"{len(results)} scenario(s) ({elapsed:.1f}s)",
     )
+    if store is not None:
+        print(
+            f"store {store}: {session.hits} cached, {session.misses} computed"
+        )
+    return 0
+
+
+def _cmd_cache(argv: list[str]) -> int:
+    sub = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect / maintain a persistent result store.",
+    )
+    sub.add_argument("action", choices=("stats", "prune", "clear"))
+    sub.add_argument(
+        "--store", default=DEFAULT_STORE,
+        help=f"store directory (default: {DEFAULT_STORE})",
+    )
+    args = sub.parse_args(argv)
+    from .api.store import ResultStore
+
+    if not Path(args.store).is_dir():
+        print(f"no store at {args.store}")
+        return 0 if args.action == "stats" else 2
+    store = ResultStore(args.store)
+    if args.action == "stats":
+        for key, value in store.stats().to_dict().items():
+            print(f"{key:>12}  {value}")
+    elif args.action == "prune":
+        counts = store.prune()
+        print(
+            f"pruned {args.store}: kept {counts['kept']} result(s), "
+            f"dropped {counts['dropped']}"
+        )
+    else:
+        n = len(store)
+        store.clear()
+        print(f"cleared {args.store}: removed {n} result(s)")
+    return 0
+
+
+def _cmd_registry(argv: list[str]) -> int:
+    sub = argparse.ArgumentParser(
+        prog="python -m repro registry",
+        description="List registered components and their metadata.",
+    )
+    sub.add_argument(
+        "kind",
+        nargs="?",
+        choices=("generators", "fault-models", "pruners", "finders"),
+        help="restrict the listing to one registry",
+    )
+    args = sub.parse_args(argv)
+    from .api.registry import (
+        list_fault_models,
+        list_finders,
+        list_generators,
+        list_pruners,
+    )
+
+    sections = {
+        "generators": list_generators,
+        "fault-models": list_fault_models,
+        "pruners": list_pruners,
+        "finders": list_finders,
+    }
+    wanted = [args.kind] if args.kind else list(sections)
+    for kind in wanted:
+        rows = sections[kind]()
+        print(f"{kind.replace('-', ' ')} ({len(rows)}):")
+        width = max((len(r["name"]) for r in rows), default=0)
+        for row in rows:
+            flags = "".join(
+                f" [{flag}]"
+                for flag, on in (("seeded", row["seeded"]), ("raw", row["takes_raw"]))
+                if on
+            )
+            summary = f" — {row['summary']}" if row["summary"] else ""
+            print(f"  {row['name']:<{width}}  {row['signature']}{flags}{summary}")
+        print()
     return 0
 
 
 def _cmd_components() -> int:
-    from .api import FAULT_MODELS, GENERATORS, PRUNERS
+    from .api import FAULT_MODELS, FINDERS, GENERATORS, PRUNERS
     from .api import engine as _engine  # noqa: F401  (populates the registries)
 
-    for registry in (GENERATORS, FAULT_MODELS, PRUNERS):
+    for registry in (GENERATORS, FAULT_MODELS, PRUNERS, FINDERS):
         print(f"{registry.kind}s:")
         for name in registry:
             print(f"  {name}")
@@ -112,11 +225,20 @@ def _run_experiments(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    store = _store_path(args)
+    session = None
+    if store is not None:
+        session, err = _open_session(store, args.workers)
+        if session is None:
+            return err
     for key in wanted:
         runner = ALL_EXPERIMENTS[key]
+        params = inspect.signature(runner).parameters
         kwargs = {"seed": args.seed, "scale": args.scale}
-        if "workers" in inspect.signature(runner).parameters:
+        if "workers" in params:
             kwargs["workers"] = args.workers
+        if "session" in params and session is not None:
+            kwargs["session"] = session
         t0 = time.perf_counter()
         rows = runner(**kwargs)
         elapsed = time.perf_counter() - t0
@@ -126,6 +248,8 @@ def _run_experiments(args: argparse.Namespace) -> int:
             )
         )
         print()
+    if session is not None:
+        print(f"store {store}: {session.hits} cached, {session.misses} computed")
     return 0
 
 
@@ -143,9 +267,25 @@ def main(argv: list[str] | None = None) -> int:
             help="worker processes for run-batch (default: auto)",
         )
         sub.add_argument("--json", default=None, help="also write results as JSON")
+        sub.add_argument(
+            "--store", default=None,
+            help="persistent result store directory: completed scenarios are "
+            "reused instead of re-executed",
+        )
+        sub.add_argument(
+            "--resume", action="store_true",
+            help=f"shorthand for --store {DEFAULT_STORE} (resume an "
+            "interrupted sweep from the default store)",
+        )
         args = sub.parse_args(argv[1:])
         args.command = argv[0]
         return _cmd_run(args)
+
+    if argv and argv[0] == "cache":
+        return _cmd_cache(argv[1:])
+
+    if argv and argv[0] == "registry":
+        return _cmd_registry(argv[1:])
 
     if argv and argv[0] == "components":
         return _cmd_components()
@@ -160,7 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         help="experiment ids (e1..e11) or 'all'; or the subcommands "
-        "run/run-batch/components",
+        "run/run-batch/cache/registry/components",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
@@ -169,12 +309,24 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="worker processes for batch-capable experiments (0 = auto)",
     )
+    parser.add_argument(
+        "--store", default=None,
+        help="persistent result store directory shared by the experiment "
+        "runners (reruns serve completed scenarios from disk)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=f"shorthand for --store {DEFAULT_STORE}",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
         for key in ALL_EXPERIMENTS:
             print(f"{key:>4}  {_DESCRIPTIONS[key]}")
-        print("\nsubcommands: run <spec.json> | run-batch <specs.json> | components")
+        print(
+            "\nsubcommands: run <spec.json> | run-batch <specs.json> | "
+            "cache <stats|prune|clear> | registry | components"
+        )
         return 0
     return _run_experiments(args)
 

@@ -13,10 +13,20 @@ Quickstart — a scenario is data, execution is shared::
     result = run(spec)                    # RunResult with full provenance
     run_batch([spec.with_seed(s) for s in range(20)], workers=4)
 
+For cached, streaming, resumable execution use the session front door —
+results are content-addressed by scenario hash, so identical scenarios are
+served from the store instead of re-executing::
+
+    from repro.api import Session
+
+    session = Session("sweep-cache", workers=4)
+    for result in session.run_iter(spec.with_seed(s) for s in range(500)):
+        ...                               # yields as scenarios complete
+
 The same scenario round-trips through JSON (``spec.to_json()`` /
 ``ScenarioSpec.from_json``) and runs from the command line::
 
-    python -m repro run scenario.json
+    python -m repro run scenario.json --store sweep-cache
 
 See DESIGN.md for the architecture and :mod:`repro.api.registry` for how
 components self-register.
@@ -24,11 +34,17 @@ components self-register.
 
 from .registry import (
     FAULT_MODELS,
+    FINDERS,
     GENERATORS,
     PRUNERS,
     Registry,
     RegistryEntry,
+    list_fault_models,
+    list_finders,
+    list_generators,
+    list_pruners,
     register_fault_model,
+    register_finder,
     register_generator,
     register_pruner,
 )
@@ -41,36 +57,45 @@ from .specs import (
     canonical_json,
     spec_hash,
 )
-# Engine attributes resolve lazily (PEP 562).  Component modules import
-# ``repro.api.registry`` at their own import time, which initialises this
-# package; importing the engine eagerly here would re-enter those partially
-# initialised modules.  The registry/specs leaves are safe to load eagerly.
-_ENGINE_ATTRS = frozenset(
-    {
-        "analyze_graph",
-        "apply_fault_spec",
-        "baseline_expansion",
-        "default_epsilon",
-        "resolve_finder",
-        "resolve_graph",
-        "run",
-        "run_batch",
-        "engine",
-    }
-)
+# Execution-layer attributes resolve lazily (PEP 562).  Component modules
+# import ``repro.api.registry`` at their own import time, which initialises
+# this package; importing the engine (or anything built on it: session,
+# store, executors) eagerly here would re-enter those partially initialised
+# modules.  The registry/specs leaves are safe to load eagerly.
+_LAZY_ATTRS = {
+    "analyze_graph": ".engine",
+    "apply_fault_spec": ".engine",
+    "baseline_expansion": ".engine",
+    "default_epsilon": ".engine",
+    "resolve_finder": ".engine",
+    "resolve_graph": ".engine",
+    "run": ".engine",
+    "run_batch": ".engine",
+    "engine": ".engine",
+    "Session": ".session",
+    "ResultStore": ".store",
+    "StoreStats": ".store",
+    "baseline_key": ".store",
+    "Executor": ".executors",
+    "SerialExecutor": ".executors",
+    "ProcessExecutor": ".executors",
+    "make_executor": ".executors",
+}
 
 
 def __getattr__(name: str):
-    if name in _ENGINE_ATTRS:
+    if name in _LAZY_ATTRS:
         import importlib
 
-        engine = importlib.import_module(".engine", __name__)
-        return engine if name == "engine" else getattr(engine, name)
+        module = importlib.import_module(_LAZY_ATTRS[name], __name__)
+        if name == "engine":
+            return module
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | _ENGINE_ATTRS)
+    return sorted(set(globals()) | set(_LAZY_ATTRS))
 
 
 __all__ = [
@@ -86,9 +111,15 @@ __all__ = [
     "GENERATORS",
     "FAULT_MODELS",
     "PRUNERS",
+    "FINDERS",
     "register_generator",
     "register_fault_model",
     "register_pruner",
+    "register_finder",
+    "list_generators",
+    "list_fault_models",
+    "list_pruners",
+    "list_finders",
     "resolve_graph",
     "resolve_finder",
     "apply_fault_spec",
@@ -97,4 +128,12 @@ __all__ = [
     "analyze_graph",
     "run",
     "run_batch",
+    "Session",
+    "ResultStore",
+    "StoreStats",
+    "baseline_key",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
 ]

@@ -12,10 +12,10 @@ The engine turns :class:`~repro.api.specs.ScenarioSpec` data into
   :func:`run` and :class:`repro.core.FaultExpansionAnalyzer` execute
   through it, so the imperative facade and the declarative API can never
   drift apart;
-* :func:`run` executes one scenario; :func:`run_batch` executes many,
-  deduplicating baseline expansion estimates per (graph spec, mode) and
-  fanning scenarios out across worker processes via
-  :func:`repro.util.parallel.chunked_map`.
+* :func:`run` executes one scenario; :func:`run_batch` executes many
+  through a throwaway :class:`~repro.api.session.Session`, deduplicating
+  baseline expansion estimates per (graph spec, mode) and fanning scenarios
+  out across worker processes via the :mod:`repro.api.executors` layer.
 
 Determinism: a scenario's randomness comes from explicit ``seed`` params
 inside its specs (graph identity) plus the scenario ``seed`` (fault draws).
@@ -40,16 +40,11 @@ from ..expansion.estimate import (
 from ..faults.model import FaultScenario, apply_node_faults
 from ..graphs.graph import Graph
 from ..graphs.traversal import component_summary
-from ..pruning.cutfinder import (
-    CutFinder,
-    ExhaustiveCutFinder,
-    HybridCutFinder,
-    SweepCutFinder,
-)
+from ..pruning.cutfinder import CutFinder
 from ..pruning.prune import PruneResult
-from ..util.parallel import chunked_map
-from .registry import FAULT_MODELS, GENERATORS, PRUNERS
+from .registry import FAULT_MODELS, FINDERS, GENERATORS, PRUNERS
 from .specs import AnalysisSpec, FaultSpec, GraphSpec, RunResult, ScenarioSpec
+from .store import BaselineKey, baseline_key
 
 # Importing the component packages populates the registries; keep these at
 # the bottom of the import block so the leaf modules above are ready first.
@@ -72,27 +67,20 @@ __all__ = [
 from ..core.report import FaultToleranceReport  # noqa: E402
 
 
-_FINDER_FACTORIES = {
-    "hybrid": HybridCutFinder,
-    "sweep": SweepCutFinder,
-    "exhaustive": ExhaustiveCutFinder,
-}
-
-
 def resolve_finder(
     name: Optional[str], params: Optional[Dict[str, Any]] = None
 ) -> Optional[CutFinder]:
-    """Build a cut-finder from its spec name (``None`` → pruner default)."""
+    """Build a cut-finder from its spec name (``None`` → pruner default).
+
+    Finders resolve through the :data:`~repro.api.registry.FINDERS` registry
+    like every other component, so third-party strategies plug in with
+    ``@register_finder``.
+    """
     if name is None:
         return None
+    entry = FINDERS.get(name)
     try:
-        factory = _FINDER_FACTORIES[name]
-    except KeyError:
-        raise SpecError(
-            f"unknown finder {name!r}; known: {sorted(_FINDER_FACTORIES)}"
-        ) from None
-    try:
-        return factory(**(params or {}))
+        return entry.fn(**(params or {}))
     except TypeError as exc:
         raise SpecError(f"finder {name!r}: {exc}") from exc
 
@@ -241,8 +229,9 @@ def analyze_graph(
 # --------------------------------------------------------------------- #
 
 
-def _baseline_cache_key(spec: ScenarioSpec) -> Tuple[str, str, int]:
-    return (spec.graph.key(), spec.analysis.mode, spec.analysis.exact_threshold)
+# The baseline-cache key (graph hash × mode × exact threshold) is defined
+# once, in repro.api.store, and shared with the persistent baseline store.
+_baseline_cache_key = baseline_key
 
 
 def _package(
@@ -286,7 +275,7 @@ def _package(
 def run(
     spec: ScenarioSpec,
     *,
-    baseline_cache: Optional[Dict[Tuple[str, str, int], ExpansionEstimate]] = None,
+    baseline_cache: Optional[Dict[BaselineKey, ExpansionEstimate]] = None,
 ) -> RunResult:
     """Execute one scenario spec end-to-end.
 
@@ -351,33 +340,27 @@ def run_batch(
     specs: Iterable[ScenarioSpec],
     *,
     workers: Optional[int] = 1,
-    baseline_cache: Optional[Dict[Tuple[str, str, int], ExpansionEstimate]] = None,
+    baseline_cache: Optional[Dict[BaselineKey, ExpansionEstimate]] = None,
+    store=None,
 ) -> List[RunResult]:
     """Execute many scenarios, deduplicating baselines and fanning out.
 
-    Phase 1 computes the fault-free expansion once per unique
-    ``(graph spec, mode, exact threshold)`` — typically the dominant shared
-    cost of a sweep.  Phase 2 runs every scenario with its baseline
-    pre-resolved.  Both phases parallelise over processes when
-    ``workers > 1`` (``None``/``0`` = auto); results keep input order and
-    are identical to a serial run.
+    This is a thin wrapper over :class:`repro.api.session.Session` — one
+    session per call, torn down afterwards.  The session's batch phase 1
+    computes the fault-free expansion once per unique ``(graph spec, mode,
+    exact threshold)`` — typically the dominant shared cost of a sweep —
+    and phase 2 runs every scenario with its baseline pre-resolved.  Both
+    phases parallelise over processes when ``workers > 1`` (``None``/``0``
+    = auto); results keep input order and are identical to a serial run.
 
     Pass the same ``baseline_cache`` dict to successive calls to carry the
-    phase-1 estimates across batches (it is updated in place).
+    phase-1 estimates across batches (it is updated in place), or pass
+    ``store`` (a path or :class:`~repro.api.store.ResultStore`) to persist
+    and reuse full results across invocations.  For streaming results,
+    cross-call cache reuse and hit/miss accounting, hold a ``Session``
+    directly.
     """
-    spec_list = list(specs)
-    for spec in spec_list:
-        if not isinstance(spec, ScenarioSpec):
-            raise SpecError(
-                f"run_batch() takes ScenarioSpecs, got {type(spec).__name__}"
-            )
-    cache = baseline_cache if baseline_cache is not None else {}
-    missing: Dict[Tuple[str, str, int], ScenarioSpec] = {}
-    for spec in spec_list:
-        key = _baseline_cache_key(spec)
-        if key not in cache:
-            missing.setdefault(key, spec)
-    estimates = chunked_map(_baseline_task, list(missing.values()), workers=workers)
-    cache.update(zip(missing.keys(), estimates))
-    payloads = [(spec, cache[_baseline_cache_key(spec)]) for spec in spec_list]
-    return chunked_map(_run_task, payloads, workers=workers)
+    from .session import Session  # session builds on the engine; import late
+
+    session = Session(store=store, workers=workers, baseline_cache=baseline_cache)
+    return session.run_batch(specs)

@@ -1,0 +1,131 @@
+"""Pluggable execution strategies for scenario batches.
+
+:class:`Executor` is the one interface the session layer schedules work
+through; the two built-ins are
+
+* :class:`SerialExecutor` — an in-process loop.  Deterministic, zero
+  overhead, trivially debuggable; the default for ``workers=1``.
+* :class:`ProcessExecutor` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  fan-out (extracted from the old ``run_batch``/``chunked_map`` plumbing).
+  Falls back to the serial path when the batch is too small to amortise
+  pool start-up.
+
+Both expose the same two operations:
+
+* ``map(fn, items)`` — all results, input order (a barrier);
+* ``imap(fn, items)`` — ``(index, result)`` pairs *in completion order*,
+  which is what lets :meth:`repro.api.session.Session.run_iter` stream
+  results out while later scenarios are still executing.
+
+Work functions must be picklable module-level callables (the process pool
+requirement); randomness must come from explicit seeds inside the items so
+results never depend on scheduling order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+from ..util.parallel import effective_workers
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "effective_workers",
+    "make_executor",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor(ABC):
+    """Strategy interface: how a batch of independent tasks is executed."""
+
+    #: Resolved parallelism degree (1 for the serial executor).
+    workers: int = 1
+
+    @abstractmethod
+    def imap(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> Iterator[Tuple[int, R]]:
+        """Yield ``(input_index, result)`` pairs as tasks complete."""
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """All results in input order (barriers on the full batch)."""
+        work = list(items)
+        out: List[R] = [None] * len(work)  # type: ignore[list-item]
+        for i, result in self.imap(fn, work):
+            out[i] = result
+        return out
+
+
+class SerialExecutor(Executor):
+    """In-process loop: lazy, ordered, deterministic."""
+
+    workers = 1
+
+    def imap(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> Iterator[Tuple[int, R]]:
+        for i, item in enumerate(items):
+            yield i, fn(item)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool fan-out with a serial fallback for tiny batches.
+
+    Parameters
+    ----------
+    workers:
+        Parallelism degree; ``None``/``0`` selects a CPU-count default.
+    min_parallel:
+        Below this many items the serial path is always used — the pool
+        start-up cost (~100 ms) is never worth amortising over fewer tasks.
+    """
+
+    def __init__(self, workers: Optional[int] = None, *, min_parallel: int = 4):
+        self.workers = effective_workers(workers)
+        self.min_parallel = min_parallel
+
+    def _serial_ok(self, n_items: int) -> bool:
+        return self.workers <= 1 or n_items < self.min_parallel
+
+    def imap(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> Iterator[Tuple[int, R]]:
+        work = list(items)
+        if self._serial_ok(len(work)):
+            yield from SerialExecutor().imap(fn, work)
+            return
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {pool.submit(fn, item): i for i, item in enumerate(work)}
+            try:
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield pending.pop(future), future.result()
+            finally:
+                # Abandoned mid-stream (consumer closed the generator):
+                # cancel everything still queued so pool teardown only waits
+                # for tasks already in flight, not the whole remaining batch.
+                for future in pending:
+                    future.cancel()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        work = list(items)
+        if self._serial_ok(len(work)):
+            return [fn(item) for item in work]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, work))
+
+
+def make_executor(workers: Optional[int] = 1) -> Executor:
+    """The default executor for a worker-count spec: serial for ``workers=1``,
+    a process pool otherwise (``None``/``0`` = auto-sized pool)."""
+    if workers == 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers)

@@ -29,9 +29,15 @@ __all__ = [
     "GENERATORS",
     "FAULT_MODELS",
     "PRUNERS",
+    "FINDERS",
     "register_generator",
     "register_fault_model",
     "register_pruner",
+    "register_finder",
+    "list_generators",
+    "list_fault_models",
+    "list_pruners",
+    "list_finders",
 ]
 
 
@@ -117,6 +123,32 @@ class Registry:
     def names(self) -> list[str]:
         return sorted(self._entries)
 
+    def describe(self) -> list[Dict[str, Any]]:
+        """Metadata rows for every entry — the ``repro registry`` listing."""
+        rows: list[Dict[str, Any]] = []
+        for name in sorted(self._entries):
+            entry = self._entries[name]
+            fn = entry.fn
+            try:
+                sig = inspect.signature(fn)
+                signature = str(sig.replace(return_annotation=inspect.Signature.empty))
+            except (TypeError, ValueError):
+                signature = "(...)"
+            doc = inspect.getdoc(fn) or ""
+            rows.append(
+                {
+                    "name": name,
+                    "kind": self.kind,
+                    "seeded": entry.seeded,
+                    "takes_raw": entry.takes_raw,
+                    "signature": signature,
+                    "summary": doc.splitlines()[0] if doc else "",
+                    "qualname": f"{fn.__module__}.{fn.__qualname__}",
+                    **entry.extra,
+                }
+            )
+        return rows
+
 
 #: Graph generators: ``fn(**params) -> Graph`` (or a record with a ``.graph``).
 GENERATORS = Registry("generator")
@@ -124,6 +156,9 @@ GENERATORS = Registry("generator")
 FAULT_MODELS = Registry("fault model")
 #: Pruners: ``fn(graph, alpha, epsilon, *, finder=None) -> PruneResult``.
 PRUNERS = Registry("pruner")
+#: Cut finders: ``cls(**params)`` → object with the
+#: :class:`repro.pruning.cutfinder.CutFinder` ``find`` interface.
+FINDERS = Registry("finder")
 
 
 def register_generator(name: str, **extra: Any):
@@ -140,3 +175,45 @@ def register_fault_model(name: str, *, takes_raw: bool = False, **extra: Any):
 def register_pruner(name: str, **extra: Any):
     """Decorator registering a pruning algorithm."""
     return PRUNERS.register(name, **extra)
+
+
+def register_finder(name: str, **extra: Any):
+    """Class decorator registering a cut-finder strategy (the Prune set
+    search); ``AnalysisSpec.finder`` names resolve through this table."""
+    return FINDERS.register(name, **extra)
+
+
+def _ensure_populated() -> None:
+    """Import the component packages so every registry is filled.
+
+    Deliberately lazy (inside a function): this module is an import-graph
+    leaf the components themselves import at definition time.
+    """
+    import importlib
+
+    for module in ("repro.graphs.generators", "repro.faults", "repro.pruning"):
+        importlib.import_module(module)
+
+
+def list_generators() -> list[Dict[str, Any]]:
+    """Metadata for every registered graph generator."""
+    _ensure_populated()
+    return GENERATORS.describe()
+
+
+def list_fault_models() -> list[Dict[str, Any]]:
+    """Metadata for every registered fault model."""
+    _ensure_populated()
+    return FAULT_MODELS.describe()
+
+
+def list_pruners() -> list[Dict[str, Any]]:
+    """Metadata for every registered pruning algorithm."""
+    _ensure_populated()
+    return PRUNERS.describe()
+
+
+def list_finders() -> list[Dict[str, Any]]:
+    """Metadata for every registered cut-finder strategy."""
+    _ensure_populated()
+    return FINDERS.describe()

@@ -1,0 +1,336 @@
+"""Content-addressed on-disk store for scenario results and baselines.
+
+:class:`ResultStore` is the persistence layer behind
+:class:`repro.api.session.Session`.  Two append-only JSONL files live in the
+store directory:
+
+* ``results.jsonl`` — one :class:`~repro.api.specs.RunResult` per line,
+  keyed by the scenario's content hash (:meth:`ScenarioSpec.hash`, which
+  covers graph + fault + analysis + seed).  The determinism contract —
+  identical ``(spec, seed)`` ⇒ identical result — is what makes the key
+  sound: a hit can be substituted for execution byte-for-byte.
+* ``baselines.jsonl`` — fault-free :class:`ExpansionEstimate`s keyed by
+  ``(GraphSpec.key(), mode, exact_threshold)``, so a warm store skips even
+  the baseline phase of a batch.
+
+Robustness properties:
+
+* **Append-only writes.**  A crash mid-write can only truncate the final
+  line; every earlier entry stays intact, which is what makes interrupted
+  sweeps resumable.
+* **Corrupt-entry tolerance.**  Unparseable or truncated lines are counted
+  and skipped on load, never fatal.  Result entries additionally store the
+  :meth:`RunResult.fingerprint`; an entry whose recomputed fingerprint
+  disagrees is treated as corrupt (the cache can serve wrong-but-parseable
+  data to no one).
+* **Last-entry-wins.**  Re-running a scenario appends a fresh entry;
+  :meth:`prune` compacts the files, dropping superseded and corrupt lines.
+
+Maintenance operations: :meth:`stats`, :meth:`prune`, :meth:`clear`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from ..expansion.estimate import ExpansionEstimate
+from .specs import RunResult, ScenarioSpec
+
+__all__ = ["BaselineKey", "ResultStore", "StoreStats", "baseline_key"]
+
+#: ``(graph content hash, expansion mode, exact threshold)`` — the identity
+#: of one fault-free baseline estimate.
+BaselineKey = Tuple[str, str, int]
+
+_RESULTS_FILE = "results.jsonl"
+_BASELINES_FILE = "baselines.jsonl"
+
+
+def baseline_key(spec: ScenarioSpec) -> BaselineKey:
+    """The baseline-cache key of a scenario (graph identity × measurement)."""
+    return (spec.graph.key(), spec.analysis.mode, spec.analysis.exact_threshold)
+
+
+def _baseline_key_str(key: BaselineKey) -> str:
+    return f"{key[0]}:{key[1]}:{key[2]}"
+
+
+def _estimate_to_dict(estimate: ExpansionEstimate) -> Dict[str, Any]:
+    return {
+        "kind": estimate.kind,
+        "lower": float(estimate.lower),
+        "upper": float(estimate.upper),
+        "witness": [int(i) for i in np.asarray(estimate.witness).tolist()],
+        "exact": bool(estimate.exact),
+        "method": str(estimate.method),
+    }
+
+
+def _estimate_from_dict(d: Dict[str, Any]) -> ExpansionEstimate:
+    return ExpansionEstimate(
+        kind=d["kind"],
+        lower=float(d["lower"]),
+        upper=float(d["upper"]),
+        witness=np.asarray(d["witness"], dtype=np.int64),
+        exact=bool(d["exact"]),
+        method=str(d["method"]),
+    )
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate state of a store (the ``repro cache stats`` payload)."""
+
+    path: str
+    results: int
+    baselines: int
+    corrupt: int
+    superseded: int
+    bytes: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "results": self.results,
+            "baselines": self.baselines,
+            "corrupt": self.corrupt,
+            "superseded": self.superseded,
+            "bytes": self.bytes,
+        }
+
+
+class ResultStore:
+    """Persistent scenario-result + baseline cache rooted at a directory.
+
+    The in-memory index is built lazily on first read and kept in sync with
+    appends made through this instance; entries appended by *other*
+    processes after the index is built are picked up by :meth:`reload`.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._results: Optional[Dict[str, RunResult]] = None
+        self._baselines: Optional[Dict[str, ExpansionEstimate]] = None
+        self._healed: set = set()  # files whose trailing newline was checked
+        #: Unreadable / truncated / fingerprint-mismatched lines seen on load.
+        self.corrupt_entries = 0
+        #: Parsed lines superseded by a later entry with the same key.
+        self.superseded_entries = 0
+
+    # -- file plumbing -------------------------------------------------- #
+
+    @property
+    def results_file(self) -> Path:
+        return self.path / _RESULTS_FILE
+
+    @property
+    def baselines_file(self) -> Path:
+        return self.path / _BASELINES_FILE
+
+    def _append(self, file: Path, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        # A single buffered write per line: a crash can truncate the final
+        # line (tolerated on load) but never interleave two entries.  If a
+        # previous crash left the file without a trailing newline, heal it
+        # first so the truncated fragment cannot swallow this record — the
+        # probe runs once per file per instance; our own writes are always
+        # newline-terminated afterwards.
+        needs_newline = False
+        if file not in self._healed:
+            self._healed.add(file)
+            if file.exists() and file.stat().st_size > 0:
+                with io.open(file, "rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+        with io.open(file, "a", encoding="utf-8") as fh:
+            if needs_newline:
+                fh.write("\n")
+            fh.write(line + "\n")
+
+    def _iter_lines(self, file: Path):
+        if not file.exists():
+            return
+        with io.open(file, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_entries += 1
+                    continue
+                if not isinstance(record, dict):
+                    self.corrupt_entries += 1
+                    continue
+                yield record
+
+    # -- load / reload -------------------------------------------------- #
+
+    def _load_results(self) -> Dict[str, RunResult]:
+        if self._results is None:
+            index: Dict[str, RunResult] = {}
+            for record in self._iter_lines(self.results_file):
+                entry = self._decode_result(record)
+                if entry is None:
+                    self.corrupt_entries += 1
+                    continue
+                key, result = entry
+                if key in index:
+                    self.superseded_entries += 1
+                index[key] = result
+            self._results = index
+        return self._results
+
+    def _decode_result(self, record: Dict[str, Any]) -> Optional[Tuple[str, RunResult]]:
+        try:
+            key = record["key"]
+            result = RunResult.from_dict(record["result"])
+        except Exception:
+            return None
+        # Reject silently-corrupted values: the key must match the spec the
+        # entry claims to answer for, and the stored fingerprint must match
+        # the record content.
+        if key != result.spec.hash():
+            return None
+        if record.get("fingerprint") != result.fingerprint():
+            return None
+        return key, result
+
+    def _load_baselines(self) -> Dict[str, ExpansionEstimate]:
+        if self._baselines is None:
+            index: Dict[str, ExpansionEstimate] = {}
+            for record in self._iter_lines(self.baselines_file):
+                try:
+                    key = record["key"]
+                    estimate = _estimate_from_dict(record["estimate"])
+                except Exception:
+                    self.corrupt_entries += 1
+                    continue
+                if key in index:
+                    self.superseded_entries += 1
+                index[key] = estimate
+            self._baselines = index
+        return self._baselines
+
+    def reload(self) -> None:
+        """Drop the in-memory index (picks up other processes' appends)."""
+        self._results = None
+        self._baselines = None
+        self._healed = set()
+        self.corrupt_entries = 0
+        self.superseded_entries = 0
+
+    # -- results -------------------------------------------------------- #
+
+    def get_result(self, spec: ScenarioSpec) -> Optional[RunResult]:
+        """The stored result of ``spec``, or ``None`` on a cache miss."""
+        return self._load_results().get(spec.hash())
+
+    def put_result(self, result: RunResult) -> None:
+        """Append ``result``; it becomes the entry served for its spec."""
+        record = {
+            "key": result.spec.hash(),
+            "seed": result.seed,
+            "label": result.label,
+            "fingerprint": result.fingerprint(),
+            "result": result.to_dict(),
+        }
+        # Load the index *before* appending, or the lazy first load would
+        # see the new line on disk and miscount it as a duplicate.
+        index = self._load_results()
+        self._append(self.results_file, record)
+        if record["key"] in index:
+            self.superseded_entries += 1
+        index[record["key"]] = result
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return self.get_result(spec) is not None
+
+    def __len__(self) -> int:
+        return len(self._load_results())
+
+    # -- baselines ------------------------------------------------------ #
+
+    def get_baseline(self, key: BaselineKey) -> Optional[ExpansionEstimate]:
+        """The stored fault-free estimate for a baseline key, if any."""
+        return self._load_baselines().get(_baseline_key_str(key))
+
+    def put_baseline(self, key: BaselineKey, estimate: ExpansionEstimate) -> None:
+        record = {
+            "key": _baseline_key_str(key),
+            "estimate": _estimate_to_dict(estimate),
+        }
+        index = self._load_baselines()
+        self._append(self.baselines_file, record)
+        if record["key"] in index:
+            self.superseded_entries += 1
+        index[record["key"]] = estimate
+
+    # -- maintenance ---------------------------------------------------- #
+
+    def stats(self) -> StoreStats:
+        """Entry counts, anomaly counts and on-disk size."""
+        results = self._load_results()
+        baselines = self._load_baselines()
+        size = sum(
+            f.stat().st_size
+            for f in (self.results_file, self.baselines_file)
+            if f.exists()
+        )
+        return StoreStats(
+            path=str(self.path),
+            results=len(results),
+            baselines=len(baselines),
+            corrupt=self.corrupt_entries,
+            superseded=self.superseded_entries,
+            bytes=size,
+        )
+
+    def prune(self, keep: Optional[Iterable[ScenarioSpec]] = None) -> Dict[str, int]:
+        """Compact both files: drop corrupt and superseded lines (and, when
+        ``keep`` is given, every result whose spec is not in ``keep``).
+
+        Returns ``{"kept": ..., "dropped": ...}`` where ``dropped`` counts
+        every line physically removed: corrupt lines, superseded duplicates,
+        and (with ``keep``) filtered-out results.  Baselines are always
+        compacted but never filtered — they are tiny and shared across
+        scenario sets.
+        """
+        results = dict(self._load_results())
+        baselines = dict(self._load_baselines())
+        before = self.stats()
+        if keep is not None:
+            wanted = {spec.hash() for spec in keep}
+            results = {k: v for k, v in results.items() if k in wanted}
+        self.clear()
+        for result in results.values():
+            self.put_result(result)
+        for key_str, estimate in baselines.items():
+            self._append(
+                self.baselines_file,
+                {"key": key_str, "estimate": _estimate_to_dict(estimate)},
+            )
+            self._load_baselines()[key_str] = estimate
+        dropped = (
+            before.corrupt + before.superseded + (before.results - len(results))
+        )
+        return {"kept": len(results), "dropped": dropped}
+
+    def clear(self) -> None:
+        """Delete every stored entry (the files themselves are removed)."""
+        for file in (self.results_file, self.baselines_file):
+            if file.exists():
+                file.unlink()
+        self._results = {}
+        self._baselines = {}
+        self.corrupt_entries = 0
+        self.superseded_entries = 0

@@ -28,6 +28,7 @@ from typing import Literal, Optional, Protocol
 
 import numpy as np
 
+from ..api.registry import register_finder
 from ..errors import InvalidParameterError
 from ..graphs.graph import Graph
 from ..graphs.ops import edge_boundary_count, node_boundary_size
@@ -101,6 +102,7 @@ def _small_component_cut(
     return FoundCut(nodes=nodes, ratio=0.0, boundary=0)
 
 
+@register_finder("exhaustive")
 class ExhaustiveCutFinder:
     """Complete bitmask search (small graphs only).
 
@@ -200,6 +202,7 @@ def _mask_connected(mask: int, nbr: list[int]) -> bool:
     return reached == mask
 
 
+@register_finder("sweep")
 class SweepCutFinder:
     """Fiedler-sweep + refinement search (sound, incomplete, scales)."""
 
@@ -266,6 +269,7 @@ def _best_connected_piece(
     return best_nodes
 
 
+@register_finder("hybrid")
 class HybridCutFinder:
     """Exhaustive below ``exact_threshold`` nodes, sweep otherwise."""
 

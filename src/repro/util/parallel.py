@@ -7,6 +7,15 @@ keep the inner kernels vectorised numpy.  ``chunked_map`` degrades gracefully
 to a serial loop when ``workers <= 1`` or when the overhead would dominate,
 so tests and small runs stay deterministic and debuggable.
 
+Since the session API landed, the pooling strategy itself lives in
+:mod:`repro.api.executors` (:class:`~repro.api.executors.SerialExecutor` /
+:class:`~repro.api.executors.ProcessExecutor`); this module keeps the
+long-standing functional entry point as a thin wrapper over the same
+implementation, so the two can never disagree on pooling behaviour.  The
+executor import is deferred to call time: util/ sits *below* api/ in the
+layer diagram, and a module-level import here would pull the api package
+into every util import (and invite cycles).
+
 Notes
 -----
 Worker functions must be picklable module-level callables.  Random state must
@@ -17,7 +26,6 @@ never depend on process scheduling.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Sequence, TypeVar
 
 from ..errors import InvalidParameterError
@@ -64,9 +72,6 @@ def chunked_map(
         Below this many items the serial path is always used — the pool
         start-up cost (~100 ms) is never worth amortising over fewer tasks.
     """
-    work = list(items)
-    n_workers = effective_workers(workers)
-    if n_workers <= 1 or len(work) < min_parallel:
-        return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, work))
+    from ..api.executors import ProcessExecutor  # deferred: api sits above util
+
+    return ProcessExecutor(workers, min_parallel=min_parallel).map(fn, list(items))

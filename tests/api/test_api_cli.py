@@ -69,12 +69,103 @@ class TestRunCommand:
         assert "unknown generator" in capsys.readouterr().err
 
 
+class TestStoreFlags:
+    def _write_batch(self, tmp_path, scenario_dict, n=5):
+        spec_file = tmp_path / "batch.json"
+        spec_file.write_text(
+            json.dumps([dict(scenario_dict, seed=s) for s in range(n)])
+        )
+        return spec_file
+
+    def test_run_batch_cold_then_warm(self, tmp_path, capsys, scenario_dict):
+        spec_file = self._write_batch(tmp_path, scenario_dict)
+        store = str(tmp_path / "store")
+        assert main(["run-batch", str(spec_file), "--store", store]) == 0
+        assert "0 cached, 5 computed" in capsys.readouterr().out
+        assert main(["run-batch", str(spec_file), "--store", store]) == 0
+        assert "5 cached, 0 computed" in capsys.readouterr().out
+
+    def test_resume_uses_default_store(self, tmp_path, capsys, monkeypatch,
+                                       scenario_dict):
+        spec_file = self._write_batch(tmp_path, scenario_dict, n=2)
+        monkeypatch.chdir(tmp_path)
+        assert main(["run-batch", str(spec_file), "--resume"]) == 0
+        assert (tmp_path / ".repro-cache").is_dir()
+        assert main(["run-batch", str(spec_file), "--resume"]) == 0
+        assert "2 cached, 0 computed" in capsys.readouterr().out
+
+    def test_single_run_store(self, tmp_path, capsys, scenario_dict):
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(json.dumps(scenario_dict))
+        store = str(tmp_path / "store")
+        assert main(["run", str(spec_file), "--store", store]) == 0
+        assert main(["run", str(spec_file), "--store", store]) == 0
+        assert "1 cached, 0 computed" in capsys.readouterr().out
+
+    def test_unusable_store_path_fails_cleanly(self, tmp_path, capsys,
+                                               scenario_dict):
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(json.dumps(scenario_dict))
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        assert main(["run", str(spec_file), "--store", str(blocker)]) == 2
+        assert "cannot open store" in capsys.readouterr().err
+        assert main(["e2", "--store", str(blocker)]) == 2
+        assert "cannot open store" in capsys.readouterr().err
+
+    def test_experiment_with_store_warm_rerun(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["e2", "--seed", "1", "--store", store]) == 0
+        assert "computed" in capsys.readouterr().out
+        assert main(["e2", "--seed", "1", "--store", store]) == 0
+        assert "4 cached, 0 computed" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_stats_clear_prune_cycle(self, tmp_path, capsys, scenario_dict):
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(json.dumps(scenario_dict))
+        store = str(tmp_path / "store")
+        assert main(["run", str(spec_file), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "1" in out
+        assert main(["cache", "prune", "--store", store]) == 0
+        assert "kept 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--store", store]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_stats_on_missing_store_is_graceful(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--store", str(tmp_path / "nope")]) == 0
+        assert "no store" in capsys.readouterr().out
+
+    def test_clear_on_missing_store_errors(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--store", str(tmp_path / "nope")]) == 2
+
+
+class TestRegistryCommand:
+    def test_lists_all_sections_with_metadata(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("generators (", "fault models (", "pruners (",
+                       "finders (", "torus", "random_node", "[seeded]",
+                       "[raw]", "sweep"):
+            assert needle in out
+
+    def test_single_section(self, capsys):
+        assert main(["registry", "finders"]) == 0
+        out = capsys.readouterr().out
+        assert "finders (" in out and "hybrid" in out
+        assert "generators (" not in out
+
+
 class TestComponentsCommand:
     def test_lists_registries(self, capsys):
         assert main(["components"]) == 0
         out = capsys.readouterr().out
-        for needle in ("generators:", "fault models:", "pruners:",
-                       "torus", "random_node", "prune2"):
+        for needle in ("generators:", "fault models:", "pruners:", "finders:",
+                       "torus", "random_node", "prune2", "hybrid"):
             assert needle in out
 
 

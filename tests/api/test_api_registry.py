@@ -4,9 +4,15 @@ import pytest
 
 from repro.api.registry import (
     FAULT_MODELS,
+    FINDERS,
     GENERATORS,
     PRUNERS,
     Registry,
+    list_fault_models,
+    list_finders,
+    list_generators,
+    list_pruners,
+    register_finder,
 )
 from repro.errors import (
     InvalidParameterError,
@@ -53,6 +59,53 @@ class TestPopulation:
     def test_chain_center_takes_raw(self):
         assert FAULT_MODELS.get("chain_center").takes_raw
         assert not FAULT_MODELS.get("random_node").takes_raw
+
+
+class TestFinderRegistry:
+    def test_builtin_finders_registered(self):
+        assert set(FINDERS.names()) >= {"hybrid", "sweep", "exhaustive"}
+
+    def test_entries_are_the_classes(self):
+        from repro.pruning.cutfinder import HybridCutFinder, SweepCutFinder
+
+        assert FINDERS.get("hybrid").fn is HybridCutFinder
+        assert FINDERS.get("sweep").fn is SweepCutFinder
+
+    def test_third_party_finder_plugs_in(self):
+        from repro.api.engine import resolve_finder
+
+        @register_finder("registry_test_finder")
+        class NullFinder:
+            def __init__(self, verbose=False):
+                self.verbose = verbose
+
+            def find(self, graph, threshold, kind, *, require_connected=False):
+                return None
+
+        finder = resolve_finder("registry_test_finder", {"verbose": True})
+        assert isinstance(finder, NullFinder)
+        assert finder.verbose
+
+
+class TestDescribe:
+    def test_describe_rows(self):
+        rows = {r["name"]: r for r in GENERATORS.describe()}
+        assert rows["expander"]["seeded"]
+        assert not rows["torus"]["seeded"]
+        assert rows["torus"]["kind"] == "generator"
+        assert "sides" in rows["torus"]["signature"]
+        assert rows["torus"]["summary"]  # first docstring line
+
+    def test_list_functions_populate_and_report(self):
+        assert {r["name"] for r in list_generators()} >= {"torus", "hypercube"}
+        assert {r["name"] for r in list_fault_models()} >= {"random_node"}
+        assert {r["name"] for r in list_pruners()} >= {"prune", "prune2"}
+        assert {r["name"] for r in list_finders()} >= {"hybrid", "sweep"}
+
+    def test_takes_raw_surfaces_in_metadata(self):
+        rows = {r["name"]: r for r in list_fault_models()}
+        assert rows["chain_center"]["takes_raw"]
+        assert not rows["random_node"]["takes_raw"]
 
 
 class TestLookupErrors:

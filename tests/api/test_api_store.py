@@ -1,0 +1,213 @@
+"""ResultStore behaviour: round-trips, corruption tolerance, maintenance."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.engine import run
+from repro.api.specs import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
+from repro.api.store import ResultStore, baseline_key
+from repro.expansion.estimate import ExpansionEstimate
+
+
+def torus_spec(seed=3, p=0.1):
+    return ScenarioSpec(
+        graph=GraphSpec("torus", {"sides": 8, "d": 2}),
+        fault=FaultSpec("random_node", {"p": p}),
+        analysis=AnalysisSpec(),
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestResultRoundTrip:
+    def test_miss_then_hit(self, store):
+        spec = torus_spec()
+        assert store.get_result(spec) is None
+        result = run(spec)
+        store.put_result(result)
+        assert spec in store
+        cached = store.get_result(spec)
+        assert cached == result
+        assert cached.fingerprint() == result.fingerprint()
+
+    def test_persists_across_instances(self, store):
+        result = run(torus_spec())
+        store.put_result(result)
+        reopened = ResultStore(store.path)
+        assert reopened.get_result(torus_spec()) == result
+        assert len(reopened) == 1
+
+    def test_different_seed_is_different_key(self, store):
+        store.put_result(run(torus_spec(seed=1)))
+        assert store.get_result(torus_spec(seed=2)) is None
+
+    def test_last_entry_wins_and_counts_superseded(self, store):
+        result = run(torus_spec())
+        store.put_result(result)
+        store.put_result(result)
+        assert store.stats().superseded == 1  # counted at write time...
+        reopened = ResultStore(store.path)
+        assert len(reopened) == 1
+        assert reopened.stats().superseded == 1  # ...and again at load time
+
+    def test_same_instance_duplicates_counted_by_prune(self, store):
+        result = run(torus_spec())
+        store.put_result(result)
+        store.put_result(result)
+        assert store.prune() == {"kept": 1, "dropped": 1}
+
+
+class TestBaselineRoundTrip:
+    def test_baseline_round_trip(self, store):
+        spec = torus_spec()
+        key = baseline_key(spec)
+        assert store.get_baseline(key) is None
+        from repro.api.engine import _baseline_task
+
+        estimate = _baseline_task(spec)
+        store.put_baseline(key, estimate)
+        restored = ResultStore(store.path).get_baseline(key)
+        assert isinstance(restored, ExpansionEstimate)
+        assert restored.value == estimate.value
+        assert restored.exact == estimate.exact
+        assert list(restored.witness) == list(estimate.witness)
+
+
+class TestCorruptionTolerance:
+    def _fill(self, store, n=4):
+        results = [run(torus_spec(seed=s)) for s in range(n)]
+        for r in results:
+            store.put_result(r)
+        return results
+
+    def test_garbage_lines_skipped(self, store):
+        results = self._fill(store)
+        with open(store.results_file, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"key": "missing result"}\n')
+            fh.write('[1, 2, 3]\n')
+        reopened = ResultStore(store.path)
+        assert len(reopened) == len(results)
+        assert reopened.stats().corrupt == 3
+
+    def test_truncated_final_line_tolerated(self, store):
+        results = self._fill(store)
+        raw = store.results_file.read_text().splitlines(keepends=True)
+        store.results_file.write_text("".join(raw[:-1]) + raw[-1][:50])
+        reopened = ResultStore(store.path)
+        assert len(reopened) == len(results) - 1
+        assert reopened.get_result(torus_spec(seed=0)) is not None
+        assert reopened.get_result(torus_spec(seed=3)) is None
+        assert reopened.corrupt_entries == 1
+
+    def test_tampered_value_rejected_by_fingerprint(self, store):
+        (result,) = self._fill(store, n=1)
+        record = json.loads(store.results_file.read_text())
+        record["result"]["n_surviving"] = 1  # silently wrong payload
+        store.results_file.write_text(json.dumps(record) + "\n")
+        reopened = ResultStore(store.path)
+        assert reopened.get_result(torus_spec(seed=0)) is None
+        assert reopened.corrupt_entries == 1
+
+    def test_wrong_key_rejected(self, store):
+        (result,) = self._fill(store, n=1)
+        record = json.loads(store.results_file.read_text())
+        record["key"] = "0" * 16
+        store.results_file.write_text(json.dumps(record) + "\n")
+        reopened = ResultStore(store.path)
+        assert len(reopened) == 0
+
+    def test_corrupt_baseline_lines_skipped(self, store):
+        with open(store.baselines_file, "a") as fh:
+            fh.write('{"key": "x:node:14", "estimate": {"bad": true}}\n')
+            fh.write("garbage\n")
+        assert store.get_baseline(("x", "node", 14)) is None
+        assert store.corrupt_entries == 2
+
+
+class TestMaintenance:
+    def test_stats(self, store):
+        store.put_result(run(torus_spec()))
+        stats = store.stats()
+        assert stats.results == 1
+        assert stats.baselines == 0
+        assert stats.bytes > 0
+        assert stats.to_dict()["path"] == str(store.path)
+
+    def test_clear(self, store):
+        store.put_result(run(torus_spec()))
+        store.clear()
+        assert len(store) == 0
+        assert not store.results_file.exists()
+
+    def test_prune_compacts_corrupt_and_duplicates(self, store):
+        result = run(torus_spec())
+        store.put_result(result)
+        store.put_result(result)  # superseded duplicate
+        with open(store.results_file, "a") as fh:
+            fh.write("garbage\n")
+        reopened = ResultStore(store.path)
+        counts = reopened.prune()
+        # one superseded duplicate + one corrupt line physically removed
+        assert counts == {"kept": 1, "dropped": 2}
+        lines = store.results_file.read_text().strip().splitlines()
+        assert len(lines) == 1  # one clean line survives compaction
+        assert ResultStore(store.path).get_result(torus_spec()) == result
+
+    def test_prune_keep_filter(self, store):
+        keep_spec, drop_spec = torus_spec(seed=1), torus_spec(seed=2)
+        store.put_result(run(keep_spec))
+        store.put_result(run(drop_spec))
+        counts = store.prune(keep=[keep_spec])
+        assert counts == {"kept": 1, "dropped": 1}
+        assert store.get_result(keep_spec) is not None
+        assert store.get_result(drop_spec) is None
+
+    def test_prune_preserves_baselines(self, store):
+        from repro.api.engine import _baseline_task
+
+        spec = torus_spec()
+        store.put_baseline(baseline_key(spec), _baseline_task(spec))
+        store.prune()
+        assert store.get_baseline(baseline_key(spec)) is not None
+
+
+class TestCrossProcessStability:
+    def test_fingerprint_stable_across_processes(self, store):
+        """A stored result's fingerprint equals a fresh computation's in a
+        brand-new interpreter — the cache-key soundness contract."""
+        spec = torus_spec(seed=11)
+        result = run(spec)
+        store.put_result(result)
+        code = (
+            "import sys\n"
+            "from repro.api.engine import run\n"
+            "from repro.api.specs import ScenarioSpec\n"
+            "from repro.api.store import ResultStore\n"
+            "spec = ScenarioSpec.from_json(sys.argv[1])\n"
+            "store = ResultStore(sys.argv[2])\n"
+            "print(store.get_result(spec).fingerprint())\n"
+            "print(run(spec).fingerprint())\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        proc = subprocess.run(
+            [sys.executable, "-c", code, spec.to_json(), str(store.path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        stored_fp, fresh_fp = proc.stdout.split()
+        assert stored_fp == result.fingerprint()
+        assert fresh_fp == result.fingerprint()

@@ -32,6 +32,7 @@ class TestExamplesSmoke:
             "mesh_resilience_study",
             "percolation_thresholds",
             "scenario_specs",
+            "cached_sweep",
         } <= present
 
     def test_quickstart_runs(self, capsys):
@@ -59,3 +60,10 @@ class TestExamplesSmoke:
         assert "A scenario is just JSON" in out
         assert "40-scenario batch" in out
         assert "replayed fingerprint matches" in out
+
+    def test_cached_sweep_runs(self, capsys):
+        _load("cached_sweep").main()
+        out = capsys.readouterr().out
+        assert "resumed full sweep" in out
+        assert "12 served from store, 12 computed" in out
+        assert "24 cached, 0 computed" in out
