@@ -8,6 +8,9 @@ Usage::
     python -m repro run scenario.json
     python -m repro run-batch scenarios.json --workers 8 --json out.json
     python -m repro run-batch scenarios.json --store sweep-cache --resume
+    python -m repro sweep plan grid.json
+    python -m repro sweep run grid.json --store sweep-cache --workers 8
+    python -m repro sweep status grid.json --store sweep-cache
     python -m repro cache stats --store sweep-cache
     python -m repro registry
     python -m repro components
@@ -22,6 +25,13 @@ missing scenarios execute.  ``--resume`` is shorthand for ``--store`` at the
 default location (``.repro-cache``).  ``cache stats|prune|clear`` inspects
 and maintains a store.  ``registry`` lists every registered component with
 its metadata; ``components`` is the bare-names legacy listing.
+
+``sweep`` takes a :class:`repro.api.sweeps.SweepSpec` JSON file (a grid
+over spec fields + trial counts + a sampling policy).  ``sweep plan``
+prints the expansion without running anything; ``sweep run`` executes it —
+trial by trial, streaming aggregates, honouring adaptive policies — and
+``sweep status`` reports how much of the grid a store already holds (the
+resume frontier).
 """
 
 from __future__ import annotations
@@ -130,6 +140,145 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"store {store}: {session.hits} cached, {session.misses} computed"
         )
+    return 0
+
+
+def _planned_trials(sweep) -> tuple[int, str]:
+    """(per-point planned/cap trials, human description) for a sweep."""
+    policy = sweep.policy
+    if policy.kind == "fixed":
+        return sweep.trials, f"{sweep.trials} per point"
+    if policy.kind == "ci_width":
+        return sweep.trials, (
+            f"{policy.min_trials}..{sweep.trials} per point "
+            f"(stop at CI half-width <= {policy.target:g})"
+        )
+    return policy.budget, (
+        f"{policy.min_trials} per point, then chunks of {policy.chunk} to the "
+        f"noisiest point ({policy.budget} total)"
+    )
+
+
+def _cmd_sweep(argv: list[str]) -> int:
+    sub = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Plan / execute / inspect a declarative sweep "
+        "(a SweepSpec JSON file).",
+    )
+    sub.add_argument("action", choices=("run", "plan", "status"))
+    sub.add_argument("sweep_file", help="JSON file holding one SweepSpec object")
+    sub.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for trial fan-out (default: auto)",
+    )
+    sub.add_argument("--json", default=None, help="also write the result as JSON")
+    sub.add_argument(
+        "--store", default=None,
+        help="persistent result store: completed trials are reused instead "
+        "of re-executed (resume at trial granularity)",
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help=f"shorthand for --store {DEFAULT_STORE}",
+    )
+    args = sub.parse_args(argv)
+    from .api.sweeps import SweepSpec, run_sweep
+
+    try:
+        sweep = SweepSpec.from_json(Path(args.sweep_file).read_text())
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"cannot load sweep from {args.sweep_file}: {exc}", file=sys.stderr)
+        return 2
+
+    points = sweep.points()
+    cap, description = _planned_trials(sweep)
+
+    if args.action == "plan":
+        print(f"sweep {sweep.hash()} ({sweep.label or 'unlabelled'})")
+        print(f"  axes:     {len(sweep.axes)}  "
+              + "  ".join(f"{a.path}[{len(a.values)}]" for a in sweep.axes))
+        print(f"  points:   {len(points)}")
+        print(f"  policy:   {sweep.policy.kind} — {description}")
+        print(f"  metrics:  {', '.join(sweep.metrics)}")
+        if sweep.policy.kind == "budget":
+            print(f"  max trials: {sweep.policy.budget} (total)")
+        else:
+            print(f"  max trials: {len(points) * cap}")
+        rows = [
+            {"point": p.index, **{k.rsplit('.', 1)[-1]: v
+                                  for k, v in p.coords if not isinstance(v, dict)},
+             "label": p.spec.label}
+            for p in points
+        ]
+        print()
+        print(format_row_dicts(rows, title="grid"))
+        return 0
+
+    if args.action == "status":
+        store_dir = args.store or DEFAULT_STORE
+        if not Path(store_dir).is_dir():
+            print(f"no store at {store_dir}")
+            return 2
+        from .api.store import ResultStore
+
+        store = ResultStore(store_dir)
+        rows = []
+        total_done = 0
+        for p in points:
+            if sweep.policy.kind == "budget":
+                # a budget is a *total*; per point, report the contiguous
+                # cached frontier (probe until the first missing trial)
+                done = 0
+                while (
+                    done < sweep.policy.budget
+                    and store.get_result(sweep.trial_spec(p, done)) is not None
+                ):
+                    done += 1
+                cached = f"{done}"
+            else:
+                done = sum(
+                    1 for t in range(cap)
+                    if store.get_result(sweep.trial_spec(p, t)) is not None
+                )
+                cached = f"{done}/{cap}"
+            total_done += done
+            rows.append(
+                {"point": p.index, "label": p.spec.label,
+                 "cached_trials": cached}
+            )
+        print(format_row_dicts(
+            rows, title=f"store {store_dir}: {total_done} trial(s) cached"
+        ))
+        return 0
+
+    store = _store_path(args)
+    session, err = _open_session(store, args.workers)
+    if session is None:
+        return err
+    t0 = time.perf_counter()
+
+    def _on_round(round_no: int, units: int, done: int) -> None:
+        print(f"round {round_no}: dispatching {units} trial(s) "
+              f"({done} done so far)")
+
+    try:
+        result = run_sweep(sweep, session, on_round=_on_round)
+    except ReproError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - t0
+    print()
+    print(format_row_dicts(
+        result.rows(),
+        title=f"sweep {sweep.hash()}: {result.total_trials} trial(s), "
+        f"{result.rounds} round(s) ({elapsed:.1f}s)",
+    ))
+    print(f"fingerprint {result.fingerprint()}")
+    if store is not None:
+        print(f"store {store}: {session.hits} cached, {session.misses} computed")
+    if args.json:
+        Path(args.json).write_text(json.dumps(result.to_dict(), indent=2))
+        print(f"wrote sweep result to {args.json}")
     return 0
 
 
@@ -281,6 +430,9 @@ def main(argv: list[str] | None = None) -> int:
         args.command = argv[0]
         return _cmd_run(args)
 
+    if argv and argv[0] == "sweep":
+        return _cmd_sweep(argv[1:])
+
     if argv and argv[0] == "cache":
         return _cmd_cache(argv[1:])
 
@@ -300,7 +452,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         help="experiment ids (e1..e11) or 'all'; or the subcommands "
-        "run/run-batch/cache/registry/components",
+        "run/run-batch/sweep/cache/registry/components",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
@@ -325,6 +477,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key:>4}  {_DESCRIPTIONS[key]}")
         print(
             "\nsubcommands: run <spec.json> | run-batch <specs.json> | "
+            "sweep <run|plan|status> <sweep.json> | "
             "cache <stats|prune|clear> | registry | components"
         )
         return 0

@@ -28,6 +28,22 @@ The same scenario round-trips through JSON (``spec.to_json()`` /
 
     python -m repro run scenario.json --store sweep-cache
 
+Grids of scenarios with Monte-Carlo trials per point are first-class too
+(:mod:`repro.api.sweeps`): a ``SweepSpec`` expands deterministically into
+per-trial work units, aggregates results online as they stream out of the
+executor, and supports adaptive (CI-width / budget driven) trial
+allocation::
+
+    from repro.api import Axis, SamplingPolicy, SweepSpec, run_sweep
+
+    sweep = SweepSpec(
+        base=spec.with_seed(None),
+        axes=(Axis("fault.params.p", (0.02, 0.05, 0.1, 0.2)),),
+        trials=50,
+        policy=SamplingPolicy(kind="ci_width", target=0.02),
+    )
+    result = run_sweep(sweep, session)    # resumable at trial granularity
+
 See DESIGN.md for the architecture and :mod:`repro.api.registry` for how
 components self-register.
 """
@@ -80,6 +96,14 @@ _LAZY_ATTRS = {
     "SerialExecutor": ".executors",
     "ProcessExecutor": ".executors",
     "make_executor": ".executors",
+    "Axis": ".sweeps",
+    "SamplingPolicy": ".sweeps",
+    "SweepSpec": ".sweeps",
+    "SweepResult": ".sweeps",
+    "Metric": ".sweeps",
+    "METRICS": ".sweeps",
+    "register_metric": ".sweeps",
+    "run_sweep": ".sweeps",
 }
 
 
@@ -136,4 +160,12 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "make_executor",
+    "Axis",
+    "SamplingPolicy",
+    "SweepSpec",
+    "SweepResult",
+    "Metric",
+    "METRICS",
+    "register_metric",
+    "run_sweep",
 ]

@@ -1,0 +1,947 @@
+"""First-class sweeps: declarative grids with per-trial work units.
+
+Every experiment in the paper is really a *sweep* — a grid over graph /
+fault / analysis parameters with many Monte-Carlo trials per grid point.
+This module makes that shape first-class:
+
+* :class:`Axis` — one swept dimension: a dotted path into the scenario
+  spec (``"fault.params.p"``, ``"graph.params.k"``, or a whole-subtree
+  replacement like ``"graph"``) plus the values it takes.
+* :class:`SamplingPolicy` — how trials are allocated to grid points:
+  ``fixed`` (the classic constant count), ``ci_width`` (keep sampling a
+  point until its confidence interval is tighter than ``target``), or
+  ``budget`` (spend a fixed total, each chunk going to the currently
+  noisiest point).
+* :class:`SweepSpec` — the frozen, JSON-round-trippable record tying the
+  above together with a trial count, a sweep seed and a seed policy.  It
+  expands *deterministically* into ``(ScenarioSpec, trial index)`` work
+  units, so parallelism and caching happen per trial, not per grid point.
+* :func:`run_sweep` — execution: work units stream through
+  :meth:`repro.api.session.Session.run_iter` (store-backed resume at trial
+  granularity for free) and are folded into online aggregators
+  (:mod:`repro.util.stats`) the moment they complete, giving live
+  per-point estimates and the CI widths the adaptive policies act on.
+
+Trial-seed derivation (the determinism contract):  the seed of trial ``t``
+at a grid point is derived from a :class:`numpy.random.SeedSequence` whose
+entropy is the sweep seed and whose spawn key is ``(content hash of the
+point, point index, t)`` — the keyed form of ``SeedSequence.spawn``.
+Seeds therefore
+depend only on *what* is being run and the trial index, never on worker
+count, completion order, or how many times the sweep was interrupted and
+resumed; ``workers=1`` vs ``N`` and fresh vs resumed sweeps produce
+identical per-trial RNG streams and identical final fingerprints.
+``seed_policy="fault"`` keys the hash by graph + fault only (analysis
+excluded), so ablations over pruners/finders see *identical* fault draws
+across arms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..errors import SpecError
+from ..util.stats import OnlineStats, P2Quantile, wilson_interval
+from .specs import (
+    AnalysisSpec,
+    FaultSpec,
+    GraphSpec,
+    RunResult,
+    ScenarioSpec,
+    canonical_json,
+)
+
+__all__ = [
+    "Axis",
+    "Metric",
+    "METRICS",
+    "register_metric",
+    "SamplingPolicy",
+    "SweepSpec",
+    "SweepPoint",
+    "PointStats",
+    "PointSummary",
+    "SweepResult",
+    "run_sweep",
+]
+
+
+# --------------------------------------------------------------------- #
+# Metrics: RunResult → scalar
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A named scalar derived from a :class:`RunResult`.
+
+    ``binary`` metrics (indicator variables) get Wilson score intervals;
+    real-valued metrics get normal-approximation intervals.  ``fn`` may
+    return ``None`` for undefined observations (e.g. retention of an empty
+    survivor set) — those are counted as skipped, not aggregated.
+    """
+
+    name: str
+    fn: Callable[[RunResult], Optional[float]]
+    binary: bool = False
+    doc: str = ""
+
+
+METRICS: Dict[str, Metric] = {}
+
+
+def register_metric(
+    name: str, fn: Callable[[RunResult], Optional[float]],
+    *, binary: bool = False, doc: str = ""
+) -> Metric:
+    """Register a sweep metric (used by name in :class:`SweepSpec`)."""
+    metric = Metric(name=name, fn=fn, binary=binary, doc=doc)
+    METRICS[name] = metric
+    return metric
+
+
+def _prune2_success(r: RunResult) -> float:
+    """Theorem 3.4's success event: |H| ≥ n/2 and αe(H) ≥ ε·αe(G)."""
+    ok_size = r.n_surviving >= r.n_original / 2
+    h_exp = r.surviving_expansion if r.surviving_expansion is not None else 0.0
+    ok_exp = h_exp >= r.epsilon * r.baseline_expansion - 1e-9
+    return 1.0 if (ok_size and ok_exp) else 0.0
+
+
+register_metric(
+    "gamma",
+    lambda r: r.largest_faulty_component / max(r.n_original, 1),
+    doc="largest faulty-component fraction γ (the paper's §1.1 estimator)",
+)
+register_metric(
+    "surviving_fraction", lambda r: r.surviving_fraction,
+    doc="|H| / n after pruning",
+)
+register_metric(
+    "expansion_retention", lambda r: r.expansion_retention,
+    doc="α(H)/α(G); None when H is empty or unmeasured",
+)
+register_metric(
+    "surviving_expansion", lambda r: r.surviving_expansion,
+    doc="measured α(H); None when unmeasured",
+)
+register_metric(
+    "baseline_expansion", lambda r: r.baseline_expansion,
+    doc="fault-free α(G)",
+)
+register_metric(
+    "fault_fraction", lambda r: r.fault_fraction, doc="f / n",
+)
+register_metric(
+    "n_surviving", lambda r: float(r.n_surviving), doc="|H| after pruning",
+)
+register_metric(
+    "largest_faulty_component",
+    lambda r: float(r.largest_faulty_component),
+    doc="largest component size of the faulty graph (pre-prune)",
+)
+register_metric(
+    "prune2_success", _prune2_success, binary=True,
+    doc="Theorem 3.4 success indicator: |H| ≥ n/2 and αe(H) ≥ ε·αe",
+)
+register_metric(
+    "half_survival",
+    lambda r: 1.0 if r.n_surviving >= r.n_original / 2 else 0.0,
+    binary=True,
+    doc="indicator of |H| ≥ n/2",
+)
+
+
+# --------------------------------------------------------------------- #
+# Axis
+# --------------------------------------------------------------------- #
+
+_AXIS_ROOTS = ("graph", "fault", "analysis")
+
+
+def _normalise_axis_value(v: Any) -> Any:
+    """Axis values are JSON data; spec objects are accepted and serialised."""
+    if isinstance(v, (GraphSpec, FaultSpec, AnalysisSpec)):
+        return v.to_dict()
+    try:
+        canonical_json(v)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(
+            f"axis value {v!r} is not JSON-serialisable: {exc}"
+        ) from exc
+    return v
+
+
+@dataclass(frozen=True, eq=True)
+class Axis:
+    """One swept dimension: a dotted spec path and the values it takes.
+
+    ``path`` addresses the dict form of a :class:`ScenarioSpec`:
+    ``"fault.params.p"`` sets one parameter, ``"graph"`` replaces the whole
+    graph spec (values are then graph-spec dicts or :class:`GraphSpec`
+    instances).  The scenario ``seed`` and ``label`` are never axes — seeds
+    are derived per trial, labels per point.
+    """
+
+    path: str
+    values: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.path or not isinstance(self.path, str):
+            raise SpecError(f"axis path must be a non-empty string, got {self.path!r}")
+        root = self.path.split(".", 1)[0]
+        if root not in _AXIS_ROOTS:
+            raise SpecError(
+                f"axis path must start with one of {_AXIS_ROOTS}, got {self.path!r}"
+            )
+        values = tuple(_normalise_axis_value(v) for v in self.values)
+        if not values:
+            raise SpecError(f"axis {self.path!r} has no values")
+        object.__setattr__(self, "values", values)
+
+    @property
+    def short_name(self) -> str:
+        """Last path segment — the column name used in tables."""
+        return self.path.rsplit(".", 1)[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Axis":
+        if not isinstance(d, Mapping):
+            raise SpecError(f"Axis must be a mapping, got {type(d).__name__}")
+        unknown = sorted(set(d) - {"path", "values"})
+        if unknown:
+            raise SpecError(f"Axis dict has unknown key(s) {unknown}")
+        if "path" not in d or "values" not in d:
+            raise SpecError("Axis dict needs 'path' and 'values'")
+        return cls(path=d["path"], values=tuple(d["values"]))
+
+    def __hash__(self) -> int:
+        return hash(canonical_json(self.to_dict()))
+
+
+def _set_path(d: Dict[str, Any], path: str, value: Any) -> None:
+    """Set a dotted path inside the scenario dict, creating empty dicts on
+    the way down (``from_dict`` validation catches nonsense afterwards)."""
+    parts = path.split(".")
+    cur: Dict[str, Any] = d
+    for p in parts[:-1]:
+        nxt = cur.get(p)
+        if nxt is None:
+            nxt = {}
+            cur[p] = nxt
+        elif not isinstance(nxt, dict):
+            raise SpecError(
+                f"axis path {path!r}: segment {p!r} addresses a non-mapping "
+                f"value {nxt!r}"
+            )
+        cur = nxt
+    cur[parts[-1]] = value
+
+
+# --------------------------------------------------------------------- #
+# Sampling policy
+# --------------------------------------------------------------------- #
+
+_POLICY_KINDS = ("fixed", "ci_width", "budget")
+
+
+@dataclass(frozen=True, eq=True)
+class SamplingPolicy:
+    """How trials are allocated across grid points.
+
+    * ``fixed`` — every point gets exactly ``SweepSpec.trials`` trials.
+    * ``ci_width`` — points start at ``min_trials``, then receive ``chunk``
+      more per round while their CI half-width exceeds ``target``, up to
+      the per-point cap ``SweepSpec.trials``.  Tight points stop consuming
+      budget, which is what frees trials for the noisy ones.
+    * ``budget`` — every point gets ``min_trials``, then each round hands
+      one ``chunk`` to the point with the widest CI until ``budget`` total
+      trials are spent (or, when ``target`` is set, until every point is
+      already tight).
+
+    Allocation decisions depend only on the deterministic aggregate stream,
+    so interrupted/resumed and serial/parallel sweeps allocate identically.
+    """
+
+    kind: str = "fixed"
+    target: Optional[float] = None
+    confidence: float = 0.95
+    chunk: int = 8
+    min_trials: int = 4
+    budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POLICY_KINDS:
+            raise SpecError(
+                f"policy kind must be one of {_POLICY_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 < float(self.confidence) < 1.0:
+            raise SpecError(f"confidence must be in (0, 1), got {self.confidence}")
+        if int(self.chunk) < 1:
+            raise SpecError(f"chunk must be >= 1, got {self.chunk}")
+        if int(self.min_trials) < 1:
+            raise SpecError(f"min_trials must be >= 1, got {self.min_trials}")
+        if self.kind == "ci_width":
+            if self.target is None or not float(self.target) > 0.0:
+                raise SpecError("ci_width policy needs a positive 'target'")
+        if self.kind == "budget":
+            if self.budget is None or int(self.budget) < 1:
+                raise SpecError("budget policy needs a positive 'budget'")
+        if self.target is not None and not float(self.target) > 0.0:
+            raise SpecError(f"target must be positive, got {self.target}")
+
+    # -- allocation ----------------------------------------------------- #
+
+    def allocate(
+        self,
+        halfwidths: Sequence[float],
+        allocated: Sequence[int],
+        max_trials: int,
+    ) -> List[Tuple[int, int]]:
+        """The next round's ``(point index, extra trials)`` requests.
+
+        An empty list terminates the sweep.  ``halfwidths`` are the current
+        CI half-widths of the policy metric (``inf`` until a point has
+        enough observations for an interval).
+        """
+        n_points = len(allocated)
+        if self.kind == "fixed":
+            return [
+                (i, max_trials - a) for i, a in enumerate(allocated) if a < max_trials
+            ]
+        if self.kind == "ci_width":
+            first = min(self.min_trials, max_trials)
+            requests: List[Tuple[int, int]] = []
+            for i, a in enumerate(allocated):
+                if a == 0:
+                    requests.append((i, first))
+                elif halfwidths[i] > self.target and a < max_trials:
+                    requests.append((i, min(self.chunk, max_trials - a)))
+            return requests
+        # budget
+        assert self.budget is not None
+        remaining = self.budget - sum(allocated)
+        if remaining <= 0:
+            return []
+        if all(a == 0 for a in allocated):
+            requests = []
+            for i in range(n_points):
+                give = min(self.min_trials, remaining)
+                if give <= 0:
+                    break
+                requests.append((i, give))
+                remaining -= give
+            return requests
+        if self.target is not None and all(h <= self.target for h in halfwidths):
+            return []
+        widest = max(range(n_points), key=lambda i: (halfwidths[i], -i))
+        return [(widest, min(self.chunk, remaining))]
+
+    # -- serialisation -------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "confidence": self.confidence,
+            "chunk": self.chunk,
+            "min_trials": self.min_trials,
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SamplingPolicy":
+        if not isinstance(d, Mapping):
+            raise SpecError(
+                f"SamplingPolicy must be a mapping, got {type(d).__name__}"
+            )
+        allowed = {"kind", "target", "confidence", "chunk", "min_trials", "budget"}
+        unknown = sorted(set(d) - allowed)
+        if unknown:
+            raise SpecError(f"SamplingPolicy dict has unknown key(s) {unknown}")
+        return cls(
+            kind=d.get("kind", "fixed"),
+            target=d.get("target"),
+            confidence=float(d.get("confidence", 0.95)),
+            chunk=int(d.get("chunk", 8)),
+            min_trials=int(d.get("min_trials", 4)),
+            budget=d.get("budget"),
+        )
+
+    def __hash__(self) -> int:
+        return hash(canonical_json(self.to_dict()))
+
+
+# --------------------------------------------------------------------- #
+# SweepSpec
+# --------------------------------------------------------------------- #
+
+_SEED_POLICIES = ("scenario", "fault")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: its index, axis coordinates and seedless scenario."""
+
+    index: int
+    coords: Tuple[Tuple[str, Any], ...]  # (axis path, value) in axis order
+    spec: ScenarioSpec
+    #: Per-seed-policy memo of the content hash trial seeds are keyed by —
+    #: computing it costs a canonical-JSON serialisation, so it is done once
+    #: per point, not once per trial (excluded from equality).
+    _seed_keys: Dict[str, str] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def coord_dict(self) -> Dict[str, Any]:
+        return dict(self.coords)
+
+
+@dataclass(frozen=True, eq=True)
+class SweepSpec:
+    """A declarative sweep: base scenario × axes × trials × seed policy.
+
+    The grid is the cartesian product of the axes in declaration order
+    (last axis varies fastest — row-major).  Expansion is deterministic:
+    equal specs expand to the same ordered sequence of work units on every
+    machine, which is what makes sweeps cacheable and resumable at trial
+    granularity.
+
+    ``trials`` is the per-point trial count for the ``fixed`` policy and
+    the per-point *cap* for ``ci_width``; the ``budget`` policy bounds the
+    total instead.  ``metrics`` name the aggregated scalars (first one
+    drives adaptive allocation); ``seed`` is the sweep-level entropy and
+    ``seed_policy`` picks what the per-trial derivation is keyed by
+    (``"scenario"``: graph+fault+analysis; ``"fault"``: graph+fault only,
+    for ablations that must reuse fault draws across analysis arms).
+    """
+
+    base: ScenarioSpec
+    axes: Tuple[Axis, ...] = ()
+    trials: int = 1
+    seed: int = 0
+    seed_policy: str = "scenario"
+    metrics: Tuple[str, ...] = ("gamma",)
+    policy: SamplingPolicy = field(default_factory=SamplingPolicy)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, ScenarioSpec):
+            raise SpecError("SweepSpec.base must be a ScenarioSpec")
+        if self.base.seed is not None:
+            raise SpecError(
+                "SweepSpec.base must not carry a seed — per-trial seeds are "
+                "derived from SweepSpec.seed (set that instead)"
+            )
+        axes = tuple(
+            a if isinstance(a, Axis) else Axis.from_dict(a) for a in self.axes
+        )
+        seen = set()
+        for a in axes:
+            if a.path in seen:
+                raise SpecError(f"duplicate axis path {a.path!r}")
+            seen.add(a.path)
+        object.__setattr__(self, "axes", axes)
+        if not isinstance(self.trials, int) or self.trials < 1:
+            raise SpecError(f"trials must be a positive int, got {self.trials!r}")
+        if not isinstance(self.seed, int):
+            raise SpecError(f"sweep seed must be an int, got {self.seed!r}")
+        if self.seed_policy not in _SEED_POLICIES:
+            raise SpecError(
+                f"seed_policy must be one of {_SEED_POLICIES}, got "
+                f"{self.seed_policy!r}"
+            )
+        metrics = tuple(self.metrics)
+        if not metrics:
+            raise SpecError("SweepSpec needs at least one metric")
+        for m in metrics:
+            if m not in METRICS:
+                raise SpecError(
+                    f"unknown metric {m!r}; registered: {sorted(METRICS)}"
+                )
+        object.__setattr__(self, "metrics", metrics)
+        if not isinstance(self.policy, SamplingPolicy):
+            raise SpecError("SweepSpec.policy must be a SamplingPolicy")
+
+    # -- grid expansion ------------------------------------------------- #
+
+    @property
+    def n_points(self) -> int:
+        out = 1
+        for a in self.axes:
+            out *= len(a.values)
+        return out
+
+    def points(self) -> List[SweepPoint]:
+        """The grid, expanded deterministically (row-major axis product)."""
+        base_dict = self.base.to_dict()
+        points: List[SweepPoint] = []
+        value_lists = [a.values for a in self.axes]
+        for index, combo in enumerate(itertools.product(*value_lists)):
+            d = _deep_copy_json(base_dict)
+            coords = tuple(
+                (a.path, v) for a, v in zip(self.axes, combo)
+            )
+            for path, v in coords:
+                _set_path(d, path, _deep_copy_json(v))
+            label = self.point_label(coords)
+            d["label"] = label
+            d["seed"] = None
+            spec = ScenarioSpec.from_dict(d)
+            points.append(SweepPoint(index=index, coords=coords, spec=spec))
+        return points
+
+    def point_label(self, coords: Tuple[Tuple[str, Any], ...]) -> str:
+        parts = [self.label or self.base.label or "sweep"]
+        parts += [f"{p.rsplit('.', 1)[-1]}={_label_value(v)}" for p, v in coords]
+        return ":".join(parts)
+
+    # -- trial seeds ----------------------------------------------------- #
+
+    def _seed_key(self, point: SweepPoint) -> str:
+        """Content hash the trial-seed derivation is keyed by (memoised)."""
+        cached = point._seed_keys.get(self.seed_policy)
+        if cached is not None:
+            return cached
+        if self.seed_policy == "fault":
+            payload = {
+                "graph": point.spec.graph.to_dict(),
+                "fault": (
+                    point.spec.fault.to_dict()
+                    if point.spec.fault is not None
+                    else None
+                ),
+            }
+        else:
+            payload = {
+                "graph": point.spec.graph.to_dict(),
+                "fault": (
+                    point.spec.fault.to_dict()
+                    if point.spec.fault is not None
+                    else None
+                ),
+                "analysis": point.spec.analysis.to_dict(),
+            }
+        key = hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
+        point._seed_keys[self.seed_policy] = key
+        return key
+
+    def trial_seed(self, point: SweepPoint, trial: int) -> int:
+        """The run seed of trial ``trial`` at ``point``.
+
+        Derived from ``SeedSequence(entropy=sweep seed,
+        spawn_key=(point content hash, point index, trial))`` — the keyed
+        equivalent of ``SeedSequence.spawn`` — so the stream depends only
+        on sweep seed, point identity and trial index: identical for
+        ``workers=1`` vs ``N`` and for fresh vs resumed sweeps.  The point
+        *index* (itself a pure function of the spec) is part of the key so
+        that two grid points with identical coordinates — e.g. clamped
+        probability levels that collide — are independent Monte-Carlo
+        replicas rather than bit-identical copies reported as independent.
+        """
+        if trial < 0:
+            raise SpecError(f"trial index must be >= 0, got {trial}")
+        h = int(self._seed_key(point), 16)
+        seq = np.random.SeedSequence(
+            entropy=self.seed,
+            spawn_key=(h & 0xFFFFFFFF, (h >> 32) & 0xFFFFFFFF, point.index, trial),
+        )
+        return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+    def trial_spec(self, point: SweepPoint, trial: int) -> ScenarioSpec:
+        """The concrete runnable scenario of one ``(point, trial)`` unit."""
+        return point.spec.with_seed(self.trial_seed(point, trial))
+
+    def expand(self) -> Iterator[Tuple[int, int, ScenarioSpec]]:
+        """All fixed-allocation work units ``(point index, trial, spec)`` in
+        deterministic order (points row-major, trials inner)."""
+        for point in self.points():
+            for t in range(self.trials):
+                yield point.index, t, self.trial_spec(point, t)
+
+    # -- serialisation -------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base.to_dict(),
+            "axes": [a.to_dict() for a in self.axes],
+            "trials": self.trials,
+            "seed": self.seed,
+            "seed_policy": self.seed_policy,
+            "metrics": list(self.metrics),
+            "policy": self.policy.to_dict(),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SweepSpec":
+        if not isinstance(d, Mapping):
+            raise SpecError(f"SweepSpec must be a mapping, got {type(d).__name__}")
+        allowed = {
+            "base", "axes", "trials", "seed", "seed_policy", "metrics",
+            "policy", "label",
+        }
+        unknown = sorted(set(d) - allowed)
+        if unknown:
+            raise SpecError(f"SweepSpec dict has unknown key(s) {unknown}")
+        if "base" not in d:
+            raise SpecError("SweepSpec dict is missing required key 'base'")
+        return cls(
+            base=ScenarioSpec.from_dict(d["base"]),
+            axes=tuple(Axis.from_dict(a) for a in d.get("axes", ())),
+            trials=int(d.get("trials", 1)),
+            seed=int(d.get("seed", 0)),
+            seed_policy=str(d.get("seed_policy", "scenario")),
+            metrics=tuple(d.get("metrics", ("gamma",))),
+            policy=SamplingPolicy.from_dict(d.get("policy", {})),
+            label=str(d.get("label", "")),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SweepSpec":
+        import json
+
+        try:
+            d = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid sweep JSON: {exc}") from exc
+        return cls.from_dict(d)
+
+    def hash(self) -> str:
+        return hashlib.sha256(canonical_json(self.to_dict()).encode()).hexdigest()[:16]
+
+    def __hash__(self) -> int:
+        return hash(canonical_json(self.to_dict()))
+
+
+def _deep_copy_json(v: Any) -> Any:
+    if isinstance(v, dict):
+        return {k: _deep_copy_json(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_deep_copy_json(x) for x in v]
+    return v
+
+
+def _label_value(v: Any) -> str:
+    if isinstance(v, dict):
+        return hashlib.sha256(canonical_json(v).encode()).hexdigest()[:6]
+    if isinstance(v, float):
+        return f"{v:g}"
+    if isinstance(v, (list, tuple)):
+        return "x".join(_label_value(x) for x in v)
+    return str(v)
+
+
+# --------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------- #
+
+_QUANTILES = (0.1, 0.5, 0.9)
+
+
+@dataclass(frozen=True)
+class PointStats:
+    """Streaming summary of one metric at one grid point."""
+
+    metric: str
+    n: int
+    mean: float
+    std: float
+    ci_lo: float
+    ci_hi: float
+    halfwidth: float
+    interval: str  # "normal" | "wilson" | "none"
+    minimum: float
+    maximum: float
+    p10: float
+    p50: float
+    p90: float
+    n_skipped: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        def _num(x: float) -> Optional[float]:
+            return None if (x != x or math.isinf(x)) else x
+
+        return {
+            "metric": self.metric,
+            "n": self.n,
+            "mean": _num(self.mean),
+            "std": _num(self.std),
+            "ci_lo": _num(self.ci_lo),
+            "ci_hi": _num(self.ci_hi),
+            "halfwidth": _num(self.halfwidth),
+            "interval": self.interval,
+            "min": _num(self.minimum),
+            "max": _num(self.maximum),
+            "p10": _num(self.p10),
+            "p50": _num(self.p50),
+            "p90": _num(self.p90),
+            "n_skipped": self.n_skipped,
+        }
+
+
+class PointAggregate:
+    """Online per-point aggregation across all requested metrics."""
+
+    def __init__(self, metrics: Sequence[str], confidence: float) -> None:
+        self.metrics = tuple(metrics)
+        self.confidence = confidence
+        self._stats = {m: OnlineStats() for m in self.metrics}
+        self._quant = {
+            m: {p: P2Quantile(p) for p in _QUANTILES} for m in self.metrics
+        }
+        self._successes = {m: 0 for m in self.metrics}
+        self._skipped = {m: 0 for m in self.metrics}
+
+    def push(self, result: RunResult) -> None:
+        for m in self.metrics:
+            value = METRICS[m].fn(result)
+            if value is None or value != value:
+                self._skipped[m] += 1
+                continue
+            value = float(value)
+            self._stats[m].push(value)
+            for sketch in self._quant[m].values():
+                sketch.push(value)
+            if METRICS[m].binary and value >= 0.5:
+                self._successes[m] += 1
+
+    def halfwidth(self, metric: Optional[str] = None) -> float:
+        """CI half-width of a metric (default: the primary allocation one)."""
+        m = metric if metric is not None else self.metrics[0]
+        stats = self._stats[m]
+        if stats.count == 0:
+            return math.inf
+        if METRICS[m].binary:
+            lo, hi = wilson_interval(
+                self._successes[m], stats.count, self.confidence
+            )
+            return (hi - lo) / 2.0
+        return stats.halfwidth(self.confidence)
+
+    def point_stats(self, metric: str) -> PointStats:
+        stats = self._stats[metric]
+        n = stats.count
+        if n == 0:
+            lo = hi = half = math.nan
+            kind = "none"
+        elif METRICS[metric].binary:
+            lo, hi = wilson_interval(self._successes[metric], n, self.confidence)
+            half = (hi - lo) / 2.0
+            kind = "wilson"
+        else:
+            lo, hi = stats.interval(self.confidence)
+            half = stats.halfwidth(self.confidence)
+            kind = "normal"
+        quant = self._quant[metric]
+        return PointStats(
+            metric=metric,
+            n=n,
+            mean=stats.mean if n else math.nan,
+            std=stats.std,
+            ci_lo=lo,
+            ci_hi=hi,
+            halfwidth=half,
+            interval=kind,
+            minimum=stats.minimum if n else math.nan,
+            maximum=stats.maximum if n else math.nan,
+            p10=quant[0.1].value,
+            p50=quant[0.5].value,
+            p90=quant[0.9].value,
+            n_skipped=self._skipped[metric],
+        )
+
+
+# --------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PointSummary:
+    """Everything the sweep learned about one grid point."""
+
+    index: int
+    coords: Tuple[Tuple[str, Any], ...]
+    label: str
+    n_trials: int
+    stats: Dict[str, PointStats]
+    trial_fingerprints: Tuple[str, ...]
+    results: Optional[Tuple[RunResult, ...]] = None
+
+    def coord_dict(self) -> Dict[str, Any]:
+        return dict(self.coords)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "coords": [[p, v] for p, v in self.coords],
+            "label": self.label,
+            "n_trials": self.n_trials,
+            "stats": {m: s.to_dict() for m, s in self.stats.items()},
+            "trial_fingerprints": list(self.trial_fingerprints),
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregated outcome of one executed sweep."""
+
+    sweep: SweepSpec
+    points: Tuple[PointSummary, ...]
+    total_trials: int
+    rounds: int
+
+    @property
+    def primary_metric(self) -> str:
+        return self.sweep.metrics[0]
+
+    def fingerprint(self) -> str:
+        """Content hash over the sweep identity and every trial fingerprint
+        (in allocation order) — wall-clock free, so fresh vs resumed and
+        serial vs parallel executions of the same sweep compare equal."""
+        payload = {
+            "sweep": self.sweep.hash(),
+            "trials": [list(p.trial_fingerprints) for p in self.points],
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:16]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Table rows: axis coordinates + per-metric summaries."""
+        out: List[Dict[str, Any]] = []
+        primary = self.primary_metric
+        ci_label = f"ci{round(self.sweep.policy.confidence * 100):g}"
+        for p in self.points:
+            row: Dict[str, Any] = {}
+            for path, value in p.coords:
+                row[path.rsplit(".", 1)[-1]] = (
+                    _label_value(value) if isinstance(value, (dict, list)) else value
+                )
+            stats = p.stats[primary]
+            row["trials"] = p.n_trials
+            row[f"{primary}_mean"] = _round(stats.mean)
+            row[f"{primary}_std"] = _round(stats.std)
+            row[ci_label] = (
+                f"[{stats.ci_lo:.4f}, {stats.ci_hi:.4f}]"
+                if stats.ci_lo == stats.ci_lo and not math.isinf(stats.ci_lo)
+                else "n/a"
+            )
+            for m in self.sweep.metrics[1:]:
+                row[f"{m}_mean"] = _round(p.stats[m].mean)
+            out.append(row)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep.to_dict(),
+            "sweep_hash": self.sweep.hash(),
+            "fingerprint": self.fingerprint(),
+            "total_trials": self.total_trials,
+            "rounds": self.rounds,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def _round(x: float, nd: int = 4) -> Any:
+    return round(x, nd) if x == x else "n/a"
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    session: Optional["Session"] = None,  # noqa: F821 — late import below
+    *,
+    keep_results: bool = False,
+    on_result: Optional[Callable[[int, int, RunResult], None]] = None,
+    on_round: Optional[Callable[[int, int, int], None]] = None,
+) -> SweepResult:
+    """Execute a sweep through a session, aggregating results as they stream.
+
+    Work proceeds in allocation rounds: the sampling policy requests
+    ``(point, extra trials)`` batches, the corresponding trial scenarios are
+    dispatched through :meth:`Session.run_iter` (store hits are served
+    without execution — this is what makes interrupted sweeps resume at
+    trial granularity), and every completed result is folded into the
+    per-point online aggregates *before* the next allocation decision.
+
+    ``on_result(point_index, trial_index, result)`` fires per completed
+    trial; ``on_round(round_number, units_this_round, total_so_far)`` fires
+    before each round executes.  Results are fed to the aggregators in
+    deterministic (point, trial) order, so aggregate values — and the
+    allocation decisions derived from them — do not depend on worker count.
+    """
+    from .session import Session  # late: session builds on the engine
+
+    sess = session if session is not None else Session()
+    points = sweep.points()
+    aggs = [PointAggregate(sweep.metrics, sweep.policy.confidence) for _ in points]
+    allocated = [0] * len(points)
+    fingerprints: List[List[str]] = [[] for _ in points]
+    collected: List[List[RunResult]] = [[] for _ in points]
+    total = 0
+    rounds = 0
+    while True:
+        requests = sweep.policy.allocate(
+            [agg.halfwidth() for agg in aggs], allocated, sweep.trials
+        )
+        if not requests:
+            break
+        rounds += 1
+        units: List[Tuple[int, int]] = []
+        for i, n_new in requests:
+            units.extend((i, t) for t in range(allocated[i], allocated[i] + n_new))
+            allocated[i] += n_new
+        if on_round is not None:
+            on_round(rounds, len(units), total)
+        specs = [sweep.trial_spec(points[i], t) for i, t in units]
+        for (i, t), result in zip(units, sess.run_iter(specs)):
+            aggs[i].push(result)
+            fingerprints[i].append(result.fingerprint())
+            total += 1
+            if keep_results:
+                collected[i].append(result)
+            if on_result is not None:
+                on_result(i, t, result)
+    summaries = tuple(
+        PointSummary(
+            index=p.index,
+            coords=p.coords,
+            label=p.spec.label,
+            n_trials=allocated[p.index],
+            stats={m: aggs[p.index].point_stats(m) for m in sweep.metrics},
+            trial_fingerprints=tuple(fingerprints[p.index]),
+            results=tuple(collected[p.index]) if keep_results else None,
+        )
+        for p in points
+    )
+    return SweepResult(
+        sweep=sweep, points=summaries, total_trials=total, rounds=rounds
+    )

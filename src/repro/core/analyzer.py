@@ -141,35 +141,43 @@ class FaultExpansionAnalyzer:
         """Fault-probability sweep: mean survivor fraction and expansion
         retention at each ``p`` over ``trials`` independent fault draws.
 
+        Aggregation is online (:class:`~repro.util.stats.OnlineStats` —
+        the same streaming pattern as :mod:`repro.api.sweeps`), so memory
+        stays constant no matter how many trials a point accumulates.
         Returns row-dicts (render with
         :func:`repro.util.tables.format_row_dicts`), the same shape the
         experiment runners produce.
+
+        For cached, resumable, adaptively-sampled sweeps over *declarative*
+        scenarios, build a :class:`repro.api.sweeps.SweepSpec` instead —
+        this method is the in-memory convenience for a concrete graph.
         """
         from ..faults.random_faults import random_node_faults
         from ..util.rng import spawn
+        from ..util.stats import OnlineStats
 
         p_list = list(p_values)  # materialise once — generators are one-shot
         rows: list[dict] = []
         rngs = spawn(seed, len(p_list) * trials)
         i = 0
         for p in p_list:
-            fractions, retentions = [], []
+            fractions, retentions = OnlineStats(), OnlineStats()
             for _ in range(trials):
                 report = self.analyze_scenario(
                     random_node_faults(self.graph, p, rngs[i])
                 )
                 i += 1
-                fractions.append(report.surviving_fraction)
+                fractions.push(report.surviving_fraction)
                 retention = report.expansion_retention
                 if retention == retention:  # skip NaN (empty H)
-                    retentions.append(retention)
+                    retentions.push(retention)
             rows.append(
                 {
                     "p": p,
                     "trials": trials,
-                    "mean_survivor_frac": float(np.mean(fractions)),
+                    "mean_survivor_frac": fractions.mean,
                     "mean_expansion_retention": (
-                        float(np.mean(retentions)) if retentions else float("nan")
+                        retentions.mean if retentions.count else float("nan")
                     ),
                 }
             )

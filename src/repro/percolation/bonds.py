@@ -21,6 +21,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..util.rng import SeedLike, as_generator, spawn
+from ..util.stats import OnlineStats
 from ..util.unionfind import UnionFind
 from ..util.validation import check_positive_int, check_probability
 
@@ -56,17 +57,40 @@ class BondPercolationResult:
 def bond_percolation(
     graph: Graph, q: float, *, n_trials: int = 20, seed: SeedLike = None
 ) -> BondPercolationResult:
-    """Monte-Carlo γ estimate for bond percolation at edge-survival prob ``q``."""
+    """Monte-Carlo γ estimate for bond percolation at edge-survival prob ``q``.
+
+    Each trial is one vectorised Bernoulli edge mask over its own spawned
+    stream, and the aggregate is accumulated online
+    (:class:`~repro.util.stats.OnlineStats`) as each trial's union-find
+    completes — the same streaming pattern the sweep layer uses for
+    scenario results, with peak memory of one mask row regardless of
+    ``n_trials``.
+    """
     q = check_probability(q, "q")
     n_trials = check_positive_int(n_trials, "n_trials")
     rngs = spawn(seed, n_trials)
-    samples = np.array(
-        [bond_percolation_trial(graph, q, rngs[i]) for i in range(n_trials)]
-    )
+    n = graph.n
+    edges = graph.edge_array()
+    m = edges.shape[0]
+    if n == 0:
+        samples = np.zeros(n_trials, dtype=np.float64)
+        return BondPercolationResult(
+            q=q, gamma_mean=0.0, gamma_std=0.0, n_trials=n_trials, samples=samples
+        )
+    samples = np.empty(n_trials, dtype=np.float64)
+    stats = OnlineStats()
+    for i in range(n_trials):
+        uf = UnionFind(n)
+        if m:
+            kept = edges[rngs[i].random(m) < q]
+            if kept.size:
+                uf.union_edges(kept[:, 0], kept[:, 1])
+        samples[i] = uf.max_size / n
+        stats.push(samples[i])
     return BondPercolationResult(
         q=q,
-        gamma_mean=float(samples.mean()),
-        gamma_std=float(samples.std(ddof=1)) if n_trials > 1 else 0.0,
+        gamma_mean=stats.mean,
+        gamma_std=stats.std if n_trials > 1 else 0.0,
         n_trials=n_trials,
         samples=samples,
     )
@@ -89,24 +113,27 @@ class BondSweep:
 
 
 def bond_sweep(graph: Graph, *, n_sweeps: int = 8, seed: SeedLike = None) -> BondSweep:
-    """Average microcanonical sweep over ``n_sweeps`` random edge orders."""
+    """Average microcanonical sweep over ``n_sweeps`` random edge orders.
+
+    The per-edge loop lives in :meth:`UnionFind.union_edges_trace`, which
+    returns the running largest-cluster trace for a whole edge order in one
+    call; the curve is then assembled with vectorised numpy (identical
+    values to the historical per-edge ``union(); read max_size`` loop —
+    asserted by the regression test against the reference implementation).
+    """
     n_sweeps = check_positive_int(n_sweeps, "n_sweeps")
     edges = graph.edge_array()
     m = edges.shape[0]
     acc = np.zeros(m + 1, dtype=np.float64)
     rngs = spawn(seed, n_sweeps)
+    denom = float(max(graph.n, 1))
     for s in range(n_sweeps):
         order = rngs[s].permutation(m)
-        uf = UnionFind(graph.n)
-        curve = np.empty(m + 1, dtype=np.float64)
-        curve[0] = 1.0 / max(graph.n, 1)
-        union = uf.union
         e = edges[order]
-        us, vs = e[:, 0].tolist(), e[:, 1].tolist()
-        for k in range(m):
-            union(us[k], vs[k])
-            curve[k + 1] = uf.max_size
-        curve[1:] /= max(graph.n, 1)
+        trace = UnionFind(graph.n).union_edges_trace(e[:, 0], e[:, 1])
+        curve = np.empty(m + 1, dtype=np.float64)
+        curve[0] = 1.0 / denom
+        np.divide(trace, denom, out=curve[1:])
         acc += curve
     acc /= n_sweeps
     return BondSweep(gamma_by_edges=acc)

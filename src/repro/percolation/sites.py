@@ -20,6 +20,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..util.rng import SeedLike, as_generator, spawn
+from ..util.stats import OnlineStats
 from ..util.unionfind import UnionFind
 from ..util.validation import check_positive_int, check_probability
 
@@ -76,13 +77,17 @@ def site_percolation(
     q = check_probability(q, "q")
     n_trials = check_positive_int(n_trials, "n_trials")
     rngs = spawn(seed, n_trials)
-    samples = np.array(
-        [site_percolation_trial(graph, q, rngs[i]) for i in range(n_trials)]
-    )
+    # Streaming aggregation (Welford), same pattern as the sweep layer —
+    # the samples array is kept for callers that post-process trials.
+    samples = np.empty(n_trials, dtype=np.float64)
+    stats = OnlineStats()
+    for i in range(n_trials):
+        samples[i] = site_percolation_trial(graph, q, rngs[i])
+        stats.push(samples[i])
     return SitePercolationResult(
         q=q,
-        gamma_mean=float(samples.mean()),
-        gamma_std=float(samples.std(ddof=1)) if n_trials > 1 else 0.0,
+        gamma_mean=stats.mean,
+        gamma_std=stats.std if n_trials > 1 else 0.0,
         n_trials=n_trials,
         samples=samples,
     )

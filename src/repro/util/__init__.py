@@ -5,6 +5,14 @@ from .tables import fmt_float, format_row_dicts, format_table
 from .timing import StageTimer, Timer
 from .unionfind import UnionFind
 from .parallel import chunked_map, effective_workers
+from .stats import (
+    OnlineStats,
+    P2Quantile,
+    normal_interval,
+    normal_ppf,
+    wilson_interval,
+    z_value,
+)
 from .validation import (
     check_fraction,
     check_in_range,
@@ -28,6 +36,12 @@ __all__ = [
     "fmt_float",
     "chunked_map",
     "effective_workers",
+    "OnlineStats",
+    "P2Quantile",
+    "normal_ppf",
+    "z_value",
+    "normal_interval",
+    "wilson_interval",
     "check_probability",
     "check_positive_int",
     "check_nonnegative_int",

@@ -1,0 +1,346 @@
+"""Online (single-pass) statistics for streaming Monte-Carlo aggregation.
+
+The sweep layer (:mod:`repro.api.sweeps`) consumes trial results one at a
+time as :meth:`repro.api.session.Session.run_iter` streams them out of the
+executor, so every estimator here is *online*: constant memory, one
+``push`` per observation, queryable at any point mid-stream.
+
+* :class:`OnlineStats` — Welford's algorithm for mean/variance (numerically
+  stable single pass), with Chan's pairwise ``merge`` for combining
+  partial aggregates.
+* :func:`normal_interval` / :func:`wilson_interval` — confidence intervals
+  for real-valued and Bernoulli metrics respectively.  The Wilson score
+  interval stays honest at small ``n`` and near 0/1 rates, which is exactly
+  where a sweep's adaptive allocator needs reliable widths.
+* :class:`P2Quantile` — the P² (Jain & Chlamtac 1985) streaming quantile
+  estimator: five markers, O(1) per observation, no sample storage.
+* :func:`normal_ppf` — inverse standard-normal CDF (Acklam's rational
+  approximation, |relative error| < 1.2e-9) so confidence levels translate
+  to z-values without a scipy dependency.
+
+Everything is pure python + math: these run inside tight result-consumer
+loops where a numpy round-trip per observation would dominate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "OnlineStats",
+    "P2Quantile",
+    "normal_ppf",
+    "z_value",
+    "normal_interval",
+    "wilson_interval",
+]
+
+
+# --------------------------------------------------------------------- #
+# Inverse normal CDF (no scipy)
+# --------------------------------------------------------------------- #
+
+# Acklam's coefficients for the rational approximations of Φ⁻¹.
+_PPF_A = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+          1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+_PPF_B = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+          6.680131188771972e+01, -1.328068155288572e+01)
+_PPF_C = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+          -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+_PPF_D = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+          3.754408661907416e+00)
+_PPF_LOW, _PPF_HIGH = 0.02425, 1.0 - 0.02425
+
+
+def normal_ppf(p: float) -> float:
+    """Inverse CDF of the standard normal distribution.
+
+    Acklam's rational approximation with one Halley refinement step; the
+    result is accurate to full double precision for ``p`` in (0, 1).
+    """
+    if not 0.0 < p < 1.0:
+        raise InvalidParameterError(f"normal_ppf needs p in (0, 1), got {p}")
+    a, b, c, d = _PPF_A, _PPF_B, _PPF_C, _PPF_D
+    if p < _PPF_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    elif p <= _PPF_HIGH:
+        q = p - 0.5
+        r = q * q
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    else:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    # One Halley step against the exact CDF (erfc is in libm).
+    e = 0.5 * math.erfc(-x / math.sqrt(2.0)) - p
+    u = e * math.sqrt(2.0 * math.pi) * math.exp(x * x / 2.0)
+    return x - u / (1.0 + x * u / 2.0)
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided z-value for a confidence level (e.g. 0.95 → 1.9600)."""
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    return normal_ppf(0.5 + confidence / 2.0)
+
+
+# --------------------------------------------------------------------- #
+# Welford online mean / variance
+# --------------------------------------------------------------------- #
+
+
+class OnlineStats:
+    """Single-pass mean/variance/extremes (Welford's algorithm).
+
+    ``merge`` combines two partial aggregates exactly (Chan et al.), so
+    shards accumulated independently — e.g. per worker — collapse into the
+    same numbers one sequential pass would have produced, up to float
+    round-off.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def push(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Fold ``other``'s observations into this aggregate (in place)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / n
+        self.mean += delta * other.count / n
+        self.count = n
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 below two observations."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean; ``inf`` below two observations."""
+        if self.count < 2:
+            return math.inf
+        return self.std / math.sqrt(self.count)
+
+    def interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean (``(-inf, inf)`` if n < 2)."""
+        half = self.halfwidth(confidence)
+        return self.mean - half, self.mean + half
+
+    def halfwidth(self, confidence: float = 0.95) -> float:
+        """CI half-width — the adaptive allocator's tightness measure."""
+        if self.count < 2:
+            return math.inf
+        return z_value(confidence) * self.stderr
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "OnlineStats":
+        out = cls()
+        out.count = int(d["count"])
+        out.mean = float(d["mean"])
+        out._m2 = float(d["m2"])
+        if out.count > 0:
+            out.minimum = float(d["min"])
+            out.maximum = float(d["max"])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineStats(n={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+def normal_interval(
+    mean: float, std: float, n: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation CI for a mean given summary statistics."""
+    if n < 2:
+        return -math.inf, math.inf
+    half = z_value(confidence) * std / math.sqrt(n)
+    return mean - half, mean + half
+
+
+def wilson_interval(
+    successes: int, n: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a Bernoulli proportion.
+
+    Unlike the Wald interval this never collapses to zero width at
+    0/n or n/n successes, so adaptive allocation keeps sampling points
+    whose rates merely *look* settled after a handful of trials.
+    """
+    if n <= 0:
+        return 0.0, 1.0
+    if not 0 <= successes <= n:
+        raise InvalidParameterError(
+            f"successes must be in [0, {n}], got {successes}"
+        )
+    z = z_value(confidence)
+    phat = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (phat + z2 / (2.0 * n)) / denom
+    half = z * math.sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+# --------------------------------------------------------------------- #
+# P² streaming quantile estimator
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Markers:
+    q: List[float]       # marker heights
+    n: List[float]       # actual marker positions (1-based)
+    np_: List[float]     # desired marker positions
+    dn: List[float]      # desired position increments
+
+
+class P2Quantile:
+    """The P² single-quantile estimator (Jain & Chlamtac, CACM 1985).
+
+    Five markers track the running ``p``-quantile in O(1) memory; below
+    five observations the exact order statistic is interpolated from the
+    buffered values.  Accuracy is within a few percent of the true
+    quantile for the smooth unimodal metric distributions a sweep
+    aggregates (γ fractions, retention ratios).
+    """
+
+    __slots__ = ("p", "_buf", "_m")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise InvalidParameterError(f"quantile p must be in (0, 1), got {p}")
+        self.p = float(p)
+        self._buf: List[float] = []
+        self._m: Optional[_Markers] = None
+
+    @property
+    def count(self) -> int:
+        if self._m is None:
+            return len(self._buf)
+        return int(self._m.n[4])
+
+    def push(self, x: float) -> None:
+        x = float(x)
+        if self._m is None:
+            self._buf.append(x)
+            if len(self._buf) == 5:
+                self._buf.sort()
+                p = self.p
+                self._m = _Markers(
+                    q=list(self._buf),
+                    n=[1.0, 2.0, 3.0, 4.0, 5.0],
+                    np_=[1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+                    dn=[0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+                )
+                self._buf = []
+            return
+        m = self._m
+        q, n = m.q, m.n
+        # locate the cell and clamp the extremes
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            m.np_[i] += m.dn[i]
+        # adjust the three interior markers
+        for i in (1, 2, 3):
+            d = m.np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d > 0 else -1.0
+                qi = self._parabolic(i, d)
+                if not q[i - 1] < qi < q[i + 1]:
+                    qi = self._linear(i, d)
+                q[i] = qi
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._m.q, self._m.n  # type: ignore[union-attr]
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._m.q, self._m.n  # type: ignore[union-attr]
+        j = i + (1 if d > 0 else -1)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (``nan`` before any observation)."""
+        if self._m is not None:
+            return self._m.q[2]
+        if not self._buf:
+            return math.nan
+        ordered = sorted(self._buf)
+        # linear interpolation of the order statistic on the small buffer
+        pos = self.p * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac

@@ -111,6 +111,52 @@ class UnionFind:
                 merges += 1
         return merges
 
+    def union_edges_trace(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Union pairs in order; return the largest-set size after *each* one.
+
+        This is the Newman–Ziff inner kernel: one call replaces the
+        per-edge ``union(); read max_size`` loop.  The DSU state is staged
+        in plain Python lists (list indexing beats numpy scalar indexing by
+        ~4× for data-dependent access patterns), run through one tight loop
+        with inlined path-halving finds, and written back, so the structure
+        is left exactly as if :meth:`union` had been called edge by edge.
+        The returned ``int64`` trace is the running maximum — callers get
+        the whole microcanonical curve from a single vectorisable array.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise InvalidParameterError("u and v must have equal shapes")
+        m = int(u.shape[0])
+        trace = np.empty(m, dtype=np.int64)
+        parent = self._parent.tolist()
+        size = self._size.tolist()
+        max_size = self._max_size
+        n_sets = self._n_sets
+        us, vs = u.tolist(), v.tolist()
+        for k in range(m):
+            a, b = us[k], vs[k]
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            while parent[b] != b:
+                parent[b] = parent[parent[b]]
+                b = parent[b]
+            if a != b:
+                if size[a] < size[b]:
+                    a, b = b, a
+                parent[b] = a
+                size[a] += size[b]
+                if size[a] > max_size:
+                    max_size = size[a]
+                n_sets -= 1
+            trace[k] = max_size
+        self._parent = np.asarray(parent, dtype=np.int64)
+        self._size = np.asarray(size, dtype=np.int64)
+        self._max_size = max_size
+        self._n_sets = n_sets
+        return trace
+
     def labels(self) -> np.ndarray:
         """Return an ``int64`` array mapping each element to a canonical
         component label in ``0..n_sets-1`` (labels are dense and ordered by

@@ -178,3 +178,78 @@ class TestExperimentPathStillWorks:
     def test_workers_flag_accepted(self, capsys):
         assert main(["e2", "--seed", "1", "--workers", "1"]) == 0
         assert "alpha_times_k" in capsys.readouterr().out
+
+
+@pytest.fixture
+def sweep_dict(scenario_dict):
+    from repro.api.sweeps import Axis, SweepSpec
+    from repro.api.specs import ScenarioSpec
+
+    base = ScenarioSpec.from_dict(scenario_dict).with_seed(None)
+    return SweepSpec(
+        base=base,
+        axes=(Axis("fault.params.p", (0.05, 0.2)),),
+        trials=3,
+        seed=11,
+        metrics=("gamma",),
+        label="cli-sweep",
+    ).to_dict()
+
+
+class TestSweepCommand:
+    def test_plan(self, tmp_path, capsys, sweep_dict):
+        sweep_file = tmp_path / "sweep.json"
+        sweep_file.write_text(json.dumps(sweep_dict))
+        assert main(["sweep", "plan", str(sweep_file)]) == 0
+        out = capsys.readouterr().out
+        assert "points:   2" in out
+        assert "fixed" in out
+        assert "cli-sweep" in out
+        assert "max trials: 6" in out
+
+    def test_run_and_status_and_warm_rerun(self, tmp_path, capsys, sweep_dict):
+        sweep_file = tmp_path / "sweep.json"
+        out_file = tmp_path / "result.json"
+        store = tmp_path / "store"
+        sweep_file.write_text(json.dumps(sweep_dict))
+        assert main(
+            ["sweep", "run", str(sweep_file), "--store", str(store),
+             "--json", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "6 trial(s)" in out
+        assert "0 cached, 6 computed" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["total_trials"] == 6
+        assert len(payload["points"]) == 2
+        fingerprint = payload["fingerprint"]
+
+        assert main(["sweep", "status", str(sweep_file), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "6 trial(s) cached" in out
+        assert "3/3" in out
+
+        # warm rerun: all served from the store, identical fingerprint
+        assert main(["sweep", "run", str(sweep_file), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "6 cached, 0 computed" in out
+        assert fingerprint in out
+
+    def test_status_without_store_errors(self, tmp_path, capsys, sweep_dict):
+        sweep_file = tmp_path / "sweep.json"
+        sweep_file.write_text(json.dumps(sweep_dict))
+        missing = tmp_path / "nope"
+        assert main(
+            ["sweep", "status", str(sweep_file), "--store", str(missing)]
+        ) == 2
+        assert "no store" in capsys.readouterr().out
+
+    def test_malformed_sweep(self, tmp_path, capsys):
+        sweep_file = tmp_path / "bad.json"
+        sweep_file.write_text(json.dumps({"axes": []}))
+        assert main(["sweep", "run", str(sweep_file)]) == 2
+        assert "cannot load sweep" in capsys.readouterr().err
+
+    def test_missing_sweep_file(self, tmp_path, capsys):
+        assert main(["sweep", "plan", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load sweep" in capsys.readouterr().err

@@ -33,6 +33,7 @@ class TestExamplesSmoke:
             "percolation_thresholds",
             "scenario_specs",
             "cached_sweep",
+            "adaptive_sweep",
         } <= present
 
     def test_quickstart_runs(self, capsys):
@@ -60,6 +61,13 @@ class TestExamplesSmoke:
         assert "A scenario is just JSON" in out
         assert "40-scenario batch" in out
         assert "replayed fingerprint matches" in out
+
+    def test_adaptive_sweep_runs(self, capsys):
+        _load("adaptive_sweep").main()
+        out = capsys.readouterr().out
+        assert "adaptive allocation" in out
+        assert "fingerprint" in out
+        assert "0 computed" in out
 
     def test_cached_sweep_runs(self, capsys):
         _load("cached_sweep").main()

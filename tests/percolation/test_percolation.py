@@ -132,3 +132,90 @@ class TestKnownTable:
         bf = [r for r in known_thresholds() if r.family == "butterfly"][0]
         assert bf.p_star_hi is not None
         assert "[" in bf.describe({})
+
+
+# ------------------------------------------------------------------ #
+# Vectorised kernels vs the historical per-edge reference
+# ------------------------------------------------------------------ #
+
+
+def _reference_bond_sweep(graph, *, n_sweeps, seed):
+    """The pre-vectorisation bond_sweep: one union + max_size read per edge."""
+    from repro.util.rng import spawn
+    from repro.util.unionfind import UnionFind
+
+    edges = graph.edge_array()
+    m = edges.shape[0]
+    acc = np.zeros(m + 1, dtype=np.float64)
+    rngs = spawn(seed, n_sweeps)
+    for s in range(n_sweeps):
+        order = rngs[s].permutation(m)
+        uf = UnionFind(graph.n)
+        curve = np.empty(m + 1, dtype=np.float64)
+        curve[0] = 1.0 / max(graph.n, 1)
+        e = edges[order]
+        us, vs = e[:, 0].tolist(), e[:, 1].tolist()
+        for k in range(m):
+            uf.union(us[k], vs[k])
+            curve[k + 1] = uf.max_size
+        curve[1:] /= max(graph.n, 1)
+        acc += curve
+    acc /= n_sweeps
+    return acc
+
+
+def _reference_bond_percolation_samples(graph, q, *, n_trials, seed):
+    """The pre-vectorisation per-trial mask formulation."""
+    from repro.util.rng import spawn
+
+    rngs = spawn(seed, n_trials)
+    return np.array(
+        [bond_percolation_trial(graph, q, rngs[i]) for i in range(n_trials)]
+    )
+
+
+class TestVectorisedBondKernels:
+    def test_bond_sweep_identical_to_reference(self, small_torus):
+        new = bond_sweep(small_torus, n_sweeps=4, seed=123).gamma_by_edges
+        ref = _reference_bond_sweep(small_torus, n_sweeps=4, seed=123)
+        np.testing.assert_array_equal(new, ref)
+
+    def test_bond_sweep_identical_on_irregular_graph(self):
+        g = mesh([5, 7])
+        new = bond_sweep(g, n_sweeps=3, seed=9).gamma_by_edges
+        ref = _reference_bond_sweep(g, n_sweeps=3, seed=9)
+        np.testing.assert_array_equal(new, ref)
+
+    def test_bond_percolation_samples_identical_to_reference(self, small_torus):
+        res = bond_percolation(small_torus, 0.55, n_trials=12, seed=77)
+        ref = _reference_bond_percolation_samples(
+            small_torus, 0.55, n_trials=12, seed=77
+        )
+        np.testing.assert_array_equal(res.samples, ref)
+        assert res.gamma_mean == pytest.approx(float(ref.mean()), abs=1e-12)
+        assert res.gamma_std == pytest.approx(float(ref.std(ddof=1)), abs=1e-12)
+
+    def test_union_edges_trace_matches_incremental_unions(self, rng):
+        from repro.util.unionfind import UnionFind
+
+        n = 40
+        u = rng.integers(0, n, size=200)
+        v = rng.integers(0, n, size=200)
+        traced = UnionFind(n)
+        trace = traced.union_edges_trace(u, v)
+        stepwise = UnionFind(n)
+        expected = []
+        for a, b in zip(u.tolist(), v.tolist()):
+            stepwise.union(a, b)
+            expected.append(stepwise.max_size)
+        assert trace.tolist() == expected
+        # the DSU is left in the same state as the incremental path
+        assert traced.n_sets == stepwise.n_sets
+        assert traced.max_size == stepwise.max_size
+        np.testing.assert_array_equal(traced.labels(), stepwise.labels())
+
+    def test_trace_rejects_mismatched_shapes(self):
+        from repro.util.unionfind import UnionFind
+
+        with pytest.raises(InvalidParameterError):
+            UnionFind(4).union_edges_trace(np.array([0, 1]), np.array([1]))

@@ -1,0 +1,183 @@
+"""Online aggregators: Welford vs numpy, CIs, P² quantiles, normal_ppf."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.util.stats import (
+    OnlineStats,
+    P2Quantile,
+    normal_interval,
+    normal_ppf,
+    wilson_interval,
+    z_value,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestNormalPpf:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [
+            (0.5, 0.0),
+            (0.975, 1.959963984540054),
+            (0.995, 2.5758293035489004),
+            (0.841344746068543, 1.0),
+            (0.001, -3.090232306167813),
+        ],
+    )
+    def test_known_values(self, p, expected):
+        assert normal_ppf(p) == pytest.approx(expected, abs=1e-9)
+
+    def test_symmetry(self):
+        for p in (0.01, 0.1, 0.3):
+            assert normal_ppf(p) == pytest.approx(-normal_ppf(1 - p), abs=1e-12)
+
+    def test_rejects_out_of_range(self):
+        for p in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(InvalidParameterError):
+                normal_ppf(p)
+
+    def test_z_value(self):
+        assert z_value(0.95) == pytest.approx(1.959963984540054, abs=1e-9)
+        with pytest.raises(InvalidParameterError):
+            z_value(1.0)
+
+
+class TestOnlineStats:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(finite_floats, min_size=2, max_size=40))
+    def test_matches_numpy(self, xs):
+        agg = OnlineStats()
+        for x in xs:
+            agg.push(x)
+        assert agg.count == len(xs)
+        assert agg.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-7)
+        assert agg.variance == pytest.approx(
+            float(np.var(xs, ddof=1)), rel=1e-7, abs=1e-6
+        )
+        assert agg.minimum == min(xs)
+        assert agg.maximum == max(xs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=20),
+        st.lists(finite_floats, min_size=1, max_size=20),
+    )
+    def test_merge_equals_sequential(self, a, b):
+        left, right = OnlineStats(), OnlineStats()
+        for x in a:
+            left.push(x)
+        for x in b:
+            right.push(x)
+        left.merge(right)
+        seq = OnlineStats()
+        for x in a + b:
+            seq.push(x)
+        assert left.count == seq.count
+        assert left.mean == pytest.approx(seq.mean, rel=1e-9, abs=1e-7)
+        assert left.variance == pytest.approx(seq.variance, rel=1e-7, abs=1e-6)
+
+    def test_empty(self):
+        agg = OnlineStats()
+        assert agg.count == 0
+        assert agg.variance == 0.0
+        assert agg.stderr == math.inf
+        assert agg.halfwidth() == math.inf
+
+    def test_halfwidth_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small, large = OnlineStats(), OnlineStats()
+        xs = rng.normal(size=400)
+        for x in xs[:20]:
+            small.push(x)
+        for x in xs:
+            large.push(x)
+        assert large.halfwidth(0.95) < small.halfwidth(0.95)
+
+    def test_dict_round_trip(self):
+        agg = OnlineStats()
+        for x in (1.0, 2.0, 4.0):
+            agg.push(x)
+        back = OnlineStats.from_dict(agg.to_dict())
+        assert back.count == agg.count
+        assert back.mean == agg.mean
+        assert back.variance == agg.variance
+        assert back.minimum == agg.minimum
+
+
+class TestIntervals:
+    def test_normal_interval_contains_truth(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(200):
+            xs = rng.normal(loc=3.0, scale=1.0, size=40)
+            lo, hi = normal_interval(float(xs.mean()), float(xs.std(ddof=1)), 40)
+            hits += lo <= 3.0 <= hi
+        assert hits >= 180  # ~95% nominal coverage
+
+    def test_normal_interval_tiny_n(self):
+        assert normal_interval(1.0, 1.0, 1) == (-math.inf, math.inf)
+
+    def test_wilson_basic(self):
+        lo, hi = wilson_interval(8, 10)
+        assert 0.0 < lo < 0.8 < hi < 1.0
+
+    def test_wilson_never_degenerate_at_extremes(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == pytest.approx(0.0, abs=1e-12) and hi > 0.05
+        lo, hi = wilson_interval(10, 10)
+        assert hi == pytest.approx(1.0, abs=1e-12) and lo < 0.95
+
+    def test_wilson_empty(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_wilson_rejects_bad_successes(self):
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(11, 10)
+
+    def test_wilson_narrows_with_n(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert hi2 - lo2 < hi1 - lo1
+
+
+class TestP2Quantile:
+    def test_small_sample_exact(self):
+        q = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            q.push(x)
+        assert q.value == pytest.approx(3.0)
+        assert q.count == 3
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_tracks_uniform(self, p):
+        rng = np.random.default_rng(2)
+        q = P2Quantile(p)
+        xs = rng.random(5000)
+        for x in xs:
+            q.push(x)
+        assert q.value == pytest.approx(p, abs=0.03)
+        assert q.count == 5000
+
+    def test_tracks_normal_median(self):
+        rng = np.random.default_rng(3)
+        q = P2Quantile(0.5)
+        for x in rng.normal(loc=10.0, scale=2.0, size=4000):
+            q.push(x)
+        assert q.value == pytest.approx(10.0, abs=0.2)
+
+    def test_rejects_degenerate_p(self):
+        for p in (0.0, 1.0):
+            with pytest.raises(InvalidParameterError):
+                P2Quantile(p)
