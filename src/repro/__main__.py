@@ -11,6 +11,9 @@ Usage::
     python -m repro sweep plan grid.json
     python -m repro sweep run grid.json --store sweep-cache --workers 8
     python -m repro sweep status grid.json --store sweep-cache
+    python -m repro paper run --out paper-artifact [--smoke]
+    python -m repro paper render paper-artifact
+    python -m repro paper diff run-a run-b
     python -m repro cache stats --store sweep-cache
     python -m repro registry
     python -m repro components
@@ -32,6 +35,15 @@ prints the expansion without running anything; ``sweep run`` executes it —
 trial by trial, streaming aggregates, honouring adaptive policies — and
 ``sweep status`` reports how much of the grid a store already holds (the
 resume frontier).
+
+``paper`` produces the one-command reproduction artifact
+(:mod:`repro.report.paper`): ``paper run`` executes the e1–e11 suite on a
+shared session (warm stores re-render with zero engine calls) and writes
+``report.md`` / ``report.html`` / ``figures/*.svg`` / ``tables/*.json`` /
+``manifest.json``; ``paper render`` re-renders an artifact directory from
+its tables without executing anything; ``paper diff`` compares two
+manifests and flags only results whose confidence intervals do not
+overlap (exit 1 when something is flagged).
 """
 
 from __future__ import annotations
@@ -282,6 +294,135 @@ def _cmd_sweep(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_paper(argv: list[str]) -> int:
+    actions = ("run", "render", "diff")
+    if not argv or argv[0] not in actions:
+        print(
+            "usage: python -m repro paper {run,render,diff} ...\n"
+            "  run    --out DIR [--smoke] [--seed N] [--scale N] "
+            "[--workers N] [--store DIR] [--only e1,e5,...] [--refresh]\n"
+            "  render OUT_DIR\n"
+            "  diff   DIR_A DIR_B [--json PATH]",
+            file=sys.stderr,
+        )
+        return 2
+    action, rest = argv[0], argv[1:]
+    from .errors import ReproError
+
+    if action == "diff":
+        sub = argparse.ArgumentParser(
+            prog="python -m repro paper diff",
+            description="Compare two paper artifacts by manifest; flag only "
+            "results whose confidence intervals do not overlap.",
+        )
+        sub.add_argument("dir_a", help="first artifact directory")
+        sub.add_argument("dir_b", help="second artifact directory")
+        sub.add_argument("--json", default=None, help="also write the diff as JSON")
+        args = sub.parse_args(rest)
+        from .report.paper import diff_paper
+
+        try:
+            diff = diff_paper(args.dir_a, args.dir_b)
+        except (OSError, ValueError) as exc:
+            print(f"cannot diff: {exc}", file=sys.stderr)
+            return 2
+        print(diff.to_text())
+        if args.json:
+            Path(args.json).write_text(json.dumps(diff.to_dict(), indent=2))
+            print(f"wrote diff to {args.json}")
+        return 0 if diff.clean else 1
+
+    if action == "render":
+        sub = argparse.ArgumentParser(
+            prog="python -m repro paper render",
+            description="Re-render report.md/report.html/figures/manifest "
+            "from an artifact's tables/*.json (no execution).",
+        )
+        sub.add_argument("out_dir", help="artifact directory to re-render")
+        args = sub.parse_args(rest)
+        from .report.paper import render_paper
+
+        try:
+            render_paper(args.out_dir)
+        except (OSError, ValueError) as exc:
+            print(f"cannot render {args.out_dir}: {exc}", file=sys.stderr)
+            return 2
+        print(f"re-rendered {args.out_dir} (report.md, report.html, "
+              "figures/, manifest.json)")
+        return 0
+
+    sub = argparse.ArgumentParser(
+        prog="python -m repro paper run",
+        description="Run the paper's experiment suite and emit a "
+        "self-contained reproduction artifact directory.",
+    )
+    sub.add_argument(
+        "--out", default="paper-artifact",
+        help="artifact output directory (default: paper-artifact)",
+    )
+    sub.add_argument(
+        "--store", default=None,
+        help="result store shared by the runners (default: <out>/store — "
+        "rerunning with the same --out is warm and performs zero engine "
+        "calls)",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    sub.add_argument("--scale", type=int, default=1, help="instance size multiplier")
+    sub.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for scenario fan-out (0 = auto)",
+    )
+    sub.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: same experiments, reduced trials/samples",
+    )
+    sub.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment subset (e.g. e1,e5,e8)",
+    )
+    sub.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached results/tables; recompute and rewrite the store",
+    )
+    args = sub.parse_args(rest)
+    from .report.paper import PaperConfig, run_paper
+
+    try:
+        config = PaperConfig(
+            seed=args.seed,
+            scale=args.scale,
+            smoke=args.smoke,
+            experiments=tuple(
+                e.strip() for e in args.only.split(",") if e.strip()
+            ) if args.only else (),
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    t0 = time.perf_counter()
+    try:
+        run = run_paper(
+            config, args.out, store=args.store, refresh=args.refresh,
+            progress=print,
+        )
+    except (OSError, ReproError) as exc:
+        print(f"paper run failed: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - t0
+    print(
+        f"tables: {run.table_hits} cached, {run.table_misses} computed; "
+        f"scenarios: {run.scenario_hits} cached, "
+        f"{run.scenario_misses} computed (engine calls: {run.engine_calls})"
+    )
+    print(
+        f"wrote {args.out}: report.md, report.html, "
+        f"{len(run.manifest.get('figures', {}))} figure(s), "
+        f"{len(run.tables)} table(s), manifest.json ({elapsed:.1f}s)"
+    )
+    return 0
+
+
 def _cmd_cache(argv: list[str]) -> int:
     sub = argparse.ArgumentParser(
         prog="python -m repro cache",
@@ -433,6 +574,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "sweep":
         return _cmd_sweep(argv[1:])
 
+    if argv and argv[0] == "paper":
+        return _cmd_paper(argv[1:])
+
     if argv and argv[0] == "cache":
         return _cmd_cache(argv[1:])
 
@@ -452,7 +596,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         help="experiment ids (e1..e11) or 'all'; or the subcommands "
-        "run/run-batch/sweep/cache/registry/components",
+        "run/run-batch/sweep/paper/cache/registry/components",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
@@ -478,6 +622,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "\nsubcommands: run <spec.json> | run-batch <specs.json> | "
             "sweep <run|plan|status> <sweep.json> | "
+            "paper <run|render|diff> | "
             "cache <stats|prune|clear> | registry | components"
         )
         return 0

@@ -84,6 +84,25 @@ class Session:
     refresh:
         When true, ignore existing store entries (recompute everything) but
         still write results through — a forced cache rebuild.
+
+    A storeless serial session is the cheapest way to execute specs
+    programmatically; identical scenarios are deduplicated per session run
+    only when a store is attached:
+
+    >>> from repro.api.specs import FaultSpec, GraphSpec, ScenarioSpec
+    >>> session = Session()                        # in-process, no store
+    >>> spec = ScenarioSpec(
+    ...     graph=GraphSpec("cycle_graph", {"n": 12}),
+    ...     fault=FaultSpec("random_node", {"p": 0.2}),
+    ...     seed=3,
+    ... )
+    >>> result = session.run(spec)
+    >>> (result.n_original, result.graph_name)
+    (12, 'C12')
+    >>> session.run(spec).fingerprint() == result.fingerprint()  # deterministic
+    True
+    >>> (session.hits, session.misses)             # no store → all misses
+    (0, 2)
     """
 
     def __init__(

@@ -146,12 +146,23 @@ def canonical_json(payload: Any) -> str:
     No ``default=`` fallback: anything non-JSON must fail loudly rather
     than hash by ``repr`` (which embeds memory addresses and would break
     the cross-process stability of :func:`spec_hash`).
+
+    >>> canonical_json({"b": 1, "a": [True, None]})
+    '{"a":[true,null],"b":1}'
     """
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def spec_hash(spec: "GraphSpec | FaultSpec | AnalysisSpec | ScenarioSpec") -> str:
-    """Short content hash identifying a spec (stable across processes)."""
+    """Short content hash identifying a spec (stable across processes).
+
+    >>> a = spec_hash(GraphSpec("torus", {"sides": 8, "d": 2}))
+    >>> b = spec_hash(GraphSpec("torus", {"d": 2, "sides": 8}))
+    >>> a == b          # parameter order never matters
+    True
+    >>> len(a)
+    16
+    """
     return hashlib.sha256(canonical_json(spec.to_dict()).encode()).hexdigest()[:16]
 
 
@@ -168,6 +179,15 @@ class GraphSpec:
     :class:`GraphSpec` instances (used e.g. for ``chain_replacement``'s
     ``base`` graph).  Random generators take an explicit integer ``seed``
     param — graph identity is part of the spec, never of the run seed.
+
+    >>> spec = GraphSpec("torus", {"sides": 8, "d": 2})
+    >>> spec.to_dict()
+    {'generator': 'torus', 'params': {'sides': 8, 'd': 2}}
+    >>> GraphSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> nested = GraphSpec("chain_replacement", {"base": spec, "k": 4})
+    >>> GraphSpec.from_dict(nested.to_dict()).params["base"] == spec
+    True
     """
 
     generator: str
@@ -211,6 +231,10 @@ class FaultSpec:
 
     Stochastic models (e.g. ``random_node``) draw from the scenario's run
     seed unless ``params`` pins an explicit ``seed`` of its own.
+
+    >>> fault = FaultSpec("random_node", {"p": 0.05})
+    >>> FaultSpec.from_dict(fault.to_dict()) == fault
+    True
     """
 
     model: str
@@ -255,6 +279,14 @@ class AnalysisSpec:
     pipelines).  ``pruner`` names a registered pruning algorithm, or ``None``
     to skip pruning (percolation-style measurements on the raw faulty
     network).  ``epsilon=None`` uses the analyzer's theorem defaults.
+
+    >>> spec = AnalysisSpec(mode="edge", pruner="prune2", epsilon=0.25)
+    >>> AnalysisSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> AnalysisSpec(mode="sideways")
+    Traceback (most recent call last):
+        ...
+    repro.errors.SpecError: mode must be one of ('node', 'edge'), got 'sideways'
     """
 
     mode: str = "node"
@@ -322,7 +354,20 @@ class AnalysisSpec:
 
 @dataclass(frozen=True, eq=True)
 class ScenarioSpec:
-    """One complete runnable scenario: graph × fault × analysis × seed."""
+    """One complete runnable scenario: graph × fault × analysis × seed.
+
+    >>> spec = ScenarioSpec(
+    ...     graph=GraphSpec("torus", {"sides": 8, "d": 2}),
+    ...     fault=FaultSpec("random_node", {"p": 0.1}),
+    ...     seed=7,
+    ... )
+    >>> ScenarioSpec.from_json(spec.to_json()) == spec
+    True
+    >>> spec.with_seed(8).seed
+    8
+    >>> spec.hash() == spec.with_seed(8).hash()  # the seed is part of identity
+    False
+    """
 
     graph: GraphSpec
     fault: Optional[FaultSpec] = None

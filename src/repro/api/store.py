@@ -12,6 +12,15 @@ store directory:
 * ``baselines.jsonl`` — fault-free :class:`ExpansionEstimate`s keyed by
   ``(GraphSpec.key(), mode, exact_threshold)``, so a warm store skips even
   the baseline phase of a batch.
+* ``tables.jsonl`` — arbitrary JSON payloads keyed by an opaque string,
+  used by the paper-report pipeline (:mod:`repro.report.paper`) to cache
+  whole rendered experiment tables keyed by (experiment, runner kwargs,
+  table schema, experiment-layer source hash): a warm paper rerun then
+  re-renders with *zero* recomputation, including the experiments whose
+  measurement loops fall outside the scenario engine (E7/E8/E10).  Like
+  every other entry kind, a cached table presumes the library code below
+  the keyed layer is unchanged — recompute with ``refresh`` after such
+  changes.
 
 Robustness properties:
 
@@ -51,6 +60,7 @@ BaselineKey = Tuple[str, str, int]
 
 _RESULTS_FILE = "results.jsonl"
 _BASELINES_FILE = "baselines.jsonl"
+_TABLES_FILE = "tables.jsonl"
 
 
 def baseline_key(spec: ScenarioSpec) -> BaselineKey:
@@ -94,12 +104,14 @@ class StoreStats:
     corrupt: int
     superseded: int
     bytes: int
+    tables: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "path": self.path,
             "results": self.results,
             "baselines": self.baselines,
+            "tables": self.tables,
             "corrupt": self.corrupt,
             "superseded": self.superseded,
             "bytes": self.bytes,
@@ -119,6 +131,7 @@ class ResultStore:
         self.path.mkdir(parents=True, exist_ok=True)
         self._results: Optional[Dict[str, RunResult]] = None
         self._baselines: Optional[Dict[str, ExpansionEstimate]] = None
+        self._tables: Optional[Dict[str, Dict[str, Any]]] = None
         self._healed: set = set()  # files whose trailing newline was checked
         #: Unreadable / truncated / fingerprint-mismatched lines seen on load.
         self.corrupt_entries = 0
@@ -134,6 +147,10 @@ class ResultStore:
     @property
     def baselines_file(self) -> Path:
         return self.path / _BASELINES_FILE
+
+    @property
+    def tables_file(self) -> Path:
+        return self.path / _TABLES_FILE
 
     def _append(self, file: Path, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
@@ -221,10 +238,30 @@ class ResultStore:
             self._baselines = index
         return self._baselines
 
+    def _load_tables(self) -> Dict[str, Dict[str, Any]]:
+        if self._tables is None:
+            index: Dict[str, Dict[str, Any]] = {}
+            for record in self._iter_lines(self.tables_file):
+                try:
+                    key = record["key"]
+                    payload = record["payload"]
+                except Exception:
+                    self.corrupt_entries += 1
+                    continue
+                if not isinstance(key, str) or not isinstance(payload, dict):
+                    self.corrupt_entries += 1
+                    continue
+                if key in index:
+                    self.superseded_entries += 1
+                index[key] = payload
+            self._tables = index
+        return self._tables
+
     def reload(self) -> None:
         """Drop the in-memory index (picks up other processes' appends)."""
         self._results = None
         self._baselines = None
+        self._tables = None
         self._healed = set()
         self.corrupt_entries = 0
         self.superseded_entries = 0
@@ -275,15 +312,31 @@ class ResultStore:
             self.superseded_entries += 1
         index[record["key"]] = estimate
 
+    # -- generic table payloads ----------------------------------------- #
+
+    def get_table(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached JSON payload stored under ``key`` (None on a miss)."""
+        return self._load_tables().get(key)
+
+    def put_table(self, key: str, payload: Dict[str, Any]) -> None:
+        """Append a JSON payload under an opaque key (last entry wins)."""
+        record = {"key": str(key), "payload": payload}
+        index = self._load_tables()
+        self._append(self.tables_file, record)
+        if record["key"] in index:
+            self.superseded_entries += 1
+        index[record["key"]] = payload
+
     # -- maintenance ---------------------------------------------------- #
 
     def stats(self) -> StoreStats:
         """Entry counts, anomaly counts and on-disk size."""
         results = self._load_results()
         baselines = self._load_baselines()
+        tables = self._load_tables()
         size = sum(
             f.stat().st_size
-            for f in (self.results_file, self.baselines_file)
+            for f in (self.results_file, self.baselines_file, self.tables_file)
             if f.exists()
         )
         return StoreStats(
@@ -293,6 +346,7 @@ class ResultStore:
             corrupt=self.corrupt_entries,
             superseded=self.superseded_entries,
             bytes=size,
+            tables=len(tables),
         )
 
     def prune(self, keep: Optional[Iterable[ScenarioSpec]] = None) -> Dict[str, int]:
@@ -307,6 +361,7 @@ class ResultStore:
         """
         results = dict(self._load_results())
         baselines = dict(self._load_baselines())
+        tables = dict(self._load_tables())
         before = self.stats()
         if keep is not None:
             wanted = {spec.hash() for spec in keep}
@@ -320,6 +375,8 @@ class ResultStore:
                 {"key": key_str, "estimate": _estimate_to_dict(estimate)},
             )
             self._load_baselines()[key_str] = estimate
+        for key_str, payload in tables.items():
+            self.put_table(key_str, payload)
         dropped = (
             before.corrupt + before.superseded + (before.results - len(results))
         )
@@ -327,10 +384,11 @@ class ResultStore:
 
     def clear(self) -> None:
         """Delete every stored entry (the files themselves are removed)."""
-        for file in (self.results_file, self.baselines_file):
+        for file in (self.results_file, self.baselines_file, self.tables_file):
             if file.exists():
                 file.unlink()
         self._results = {}
         self._baselines = {}
+        self._tables = {}
         self.corrupt_entries = 0
         self.superseded_entries = 0

@@ -197,6 +197,16 @@ class Axis:
     graph spec (values are then graph-spec dicts or :class:`GraphSpec`
     instances).  The scenario ``seed`` and ``label`` are never axes — seeds
     are derived per trial, labels per point.
+
+    >>> axis = Axis("fault.params.p", (0.1, 0.2, 0.4))
+    >>> axis.short_name
+    'p'
+    >>> Axis.from_dict(axis.to_dict()) == axis
+    True
+    >>> Axis("seed", (1, 2))
+    Traceback (most recent call last):
+        ...
+    repro.errors.SpecError: axis path must start with one of ('graph', 'fault', 'analysis'), got 'seed'
     """
 
     path: str
@@ -280,6 +290,16 @@ class SamplingPolicy:
 
     Allocation decisions depend only on the deterministic aggregate stream,
     so interrupted/resumed and serial/parallel sweeps allocate identically.
+
+    >>> fixed = SamplingPolicy()                     # every point: `trials`
+    >>> fixed.allocate([], [0, 0, 0], max_trials=4)
+    [(0, 4), (1, 4), (2, 4)]
+    >>> adaptive = SamplingPolicy(kind="ci_width", target=0.05,
+    ...                           min_trials=2, chunk=8)
+    >>> adaptive.allocate([0.01, 0.2], [2, 2], max_trials=10)  # only the noisy one
+    [(1, 8)]
+    >>> adaptive.allocate([0.01, 0.04], [2, 10], max_trials=10)  # all tight: stop
+    []
     """
 
     kind: str = "fixed"
@@ -433,6 +453,29 @@ class SweepSpec:
     ``seed_policy`` picks what the per-trial derivation is keyed by
     (``"scenario"``: graph+fault+analysis; ``"fault"``: graph+fault only,
     for ablations that must reuse fault draws across analysis arms).
+
+    >>> from repro.api.specs import (AnalysisSpec, FaultSpec, GraphSpec,
+    ...                              ScenarioSpec)
+    >>> sweep = SweepSpec(
+    ...     base=ScenarioSpec(
+    ...         graph=GraphSpec("torus", {"sides": 8, "d": 2}),
+    ...         fault=FaultSpec("random_node", {"p": 0.1}),
+    ...         analysis=AnalysisSpec(pruner=None, measure_expansion=False),
+    ...     ),
+    ...     axes=(Axis("fault.params.p", (0.1, 0.3)),),
+    ...     trials=4, seed=11, metrics=("gamma",), label="demo",
+    ... )
+    >>> sweep.n_points
+    2
+    >>> [p.spec.label for p in sweep.points()]
+    ['demo:p=0.1', 'demo:p=0.3']
+    >>> point = sweep.points()[0]
+    >>> sweep.trial_seed(point, 0) == sweep.trial_seed(point, 0)  # pure function
+    True
+    >>> sweep.trial_seed(point, 0) != sweep.trial_seed(point, 1)
+    True
+    >>> SweepSpec.from_json(sweep.to_json()) == sweep
+    True
     """
 
     base: ScenarioSpec

@@ -3,14 +3,16 @@
 A :class:`FaultToleranceReport` bundles everything a user wants after
 "inject faults, prune, measure": the scenario, the pruned network, the
 component structure before/after, expansion estimates, and theory-bound
-comparisons.  ``render()`` produces the plain-text table used by the
-examples and benches.
+comparisons.  Rendering routes through the shared renderers in
+:mod:`repro.report.tables` — ``render()`` produces the plain-text table
+used by the examples and benches, ``to_markdown()`` the report form —
+so one stringification rule set covers every output surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -18,7 +20,7 @@ from ..expansion.estimate import ExpansionEstimate
 from ..faults.model import FaultScenario
 from ..graphs.traversal import ComponentSummary
 from ..pruning.prune import PruneResult
-from ..util.tables import fmt_float, format_table
+from ..report.tables import fmt_float, format_table, markdown_table
 
 __all__ = ["FaultToleranceReport"]
 
@@ -54,9 +56,9 @@ class FaultToleranceReport:
             return float("nan")
         return self.surviving_expansion.value / self.baseline_expansion.value
 
-    def render(self) -> str:
-        """Multi-line plain-text report."""
-        rows = [
+    def _rows(self) -> List[List[Any]]:
+        """The ``(quantity, value)`` pairs every renderer shares."""
+        return [
             ["original nodes", self.n_original],
             ["faults", self.scenario.f],
             ["fault fraction", fmt_float(self.scenario.fault_fraction)],
@@ -77,7 +79,15 @@ class FaultToleranceReport:
             ["prune threshold", fmt_float(self.prune_result.threshold)],
             ["prune iterations", self.prune_result.iterations],
         ]
-        return format_table(
-            ["quantity", "value"], rows,
-            title=f"Fault-tolerance report — {self.scenario.original.name}",
-        )
+
+    @property
+    def _title(self) -> str:
+        return f"Fault-tolerance report — {self.scenario.original.name}"
+
+    def render(self) -> str:
+        """Multi-line plain-text report."""
+        return format_table(["quantity", "value"], self._rows(), title=self._title)
+
+    def to_markdown(self) -> str:
+        """The same report as a GitHub pipe table."""
+        return markdown_table(["quantity", "value"], self._rows(), title=self._title)

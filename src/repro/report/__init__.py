@@ -1,0 +1,39 @@
+"""Report subsystem: tables, figures, manifests and the paper artifact.
+
+Layers (each importable without the execution stack):
+
+* :mod:`repro.report.tables` — cell formatting, monospace/Markdown table
+  renderers, and :class:`~repro.report.tables.ExperimentTable` (the
+  structured record every experiment runner returns);
+* :mod:`repro.report.figures` — dependency-free deterministic SVG charts
+  (line/band/bar) plus the per-experiment figure builders;
+* :mod:`repro.report.manifest` — provenance manifests (spec hashes, seed
+  policies, trial counts, CI half-widths, package versions) and the
+  CI-overlap diff between two manifests;
+* :mod:`repro.report.render` — assembly of ``report.md`` / ``report.html``
+  from tables + figures + manifest.
+
+The orchestration that actually *runs* the paper suite lives in
+:mod:`repro.report.paper` (imported explicitly — it pulls in the full
+engine/session stack, which this package intentionally does not).
+"""
+
+from .tables import (
+    ExperimentTable,
+    StatColumn,
+    fmt_float,
+    format_row_dicts,
+    format_table,
+    markdown_row_dicts,
+    markdown_table,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "StatColumn",
+    "fmt_float",
+    "format_row_dicts",
+    "format_table",
+    "markdown_row_dicts",
+    "markdown_table",
+]

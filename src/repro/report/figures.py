@@ -1,0 +1,541 @@
+"""Dependency-free deterministic SVG charts for the paper report.
+
+The container this library targets has no plotting stack, so the report
+pipeline draws its own figures: a small line/scatter chart and a grouped
+bar chart, emitted as standalone SVG strings.  Determinism is a hard
+requirement (the paper artifact must be byte-identical across reruns of
+the same data), so there are no timestamps, no random element ids, and
+every coordinate is formatted with a fixed precision.
+
+Generic primitives:
+
+* :class:`Series` + :func:`line_chart` — polylines with optional markers
+  and confidence-interval error bars;
+* :func:`bar_chart` — grouped vertical bars.
+
+Figure builders (one per report figure, each consuming the
+:class:`~repro.report.tables.ExperimentTable` of the experiment it plots)
+live at the bottom; :data:`PAPER_FIGURES` maps figure file names to
+``(experiment id, builder)`` and is what the render layer iterates.
+
+When :mod:`cairosvg` happens to be importable, :func:`save_figure`
+additionally rasterises a PNG twin next to each SVG — a convenience only;
+the SVG is always the canonical artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .tables import ExperimentTable, fmt_float
+
+__all__ = [
+    "Series",
+    "line_chart",
+    "bar_chart",
+    "save_figure",
+    "fig_disintegration",
+    "fig_prune2_success",
+    "fig_expansion_vs_fault",
+    "fig_percolation_thresholds",
+    "fig_cutfinder_ablation",
+    "PAPER_FIGURES",
+]
+
+#: Okabe–Ito colourblind-safe palette, cycled across series/groups.
+PALETTE = (
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7",
+    "#e69f00", "#56b4e9", "#f0e442", "#555555",
+)
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+def _n(v: float) -> str:
+    """Fixed-precision coordinate formatting (deterministic output)."""
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+def _esc(s: str) -> str:
+    return (
+        str(s).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Nice tick positions covering [lo, hi] (endpoints snapped outward)."""
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        return [0.0, 1.0]
+    if hi <= lo:
+        hi = lo + (abs(lo) if lo else 1.0)
+    span = hi - lo
+    raw = span / max(n - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * mag
+        if step >= raw:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + step * 1e-9:
+        ticks.append(0.0 if abs(t) < step * 1e-9 else round(t, 12))
+        t += step
+    return ticks
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted series: points, an optional CI half-width per point."""
+
+    label: str
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+    halfwidths: Optional[Tuple[float, ...]] = None
+    markers_only: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "xs", tuple(float(x) for x in self.xs))
+        object.__setattr__(self, "ys", tuple(float(y) for y in self.ys))
+        if self.halfwidths is not None:
+            object.__setattr__(
+                self, "halfwidths", tuple(float(h) for h in self.halfwidths)
+            )
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+        if self.halfwidths is not None and len(self.halfwidths) != len(self.xs):
+            raise ValueError("halfwidths must match xs length")
+
+
+@dataclass
+class _Frame:
+    """Shared plot geometry + the SVG fragments accumulated so far."""
+
+    width: int
+    height: int
+    left: float
+    right: float
+    top: float
+    bottom: float
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+    parts: List[str] = field(default_factory=list)
+
+    def px(self, x: float) -> float:
+        span = self.x_hi - self.x_lo or 1.0
+        return self.left + (x - self.x_lo) / span * (self.width - self.left - self.right)
+
+    def py(self, y: float) -> float:
+        span = self.y_hi - self.y_lo or 1.0
+        return (
+            self.height - self.bottom
+            - (y - self.y_lo) / span * (self.height - self.top - self.bottom)
+        )
+
+
+def _frame_open(
+    f: _Frame, *, title: str, xlabel: str, ylabel: str,
+    x_ticks: Sequence[float], y_ticks: Sequence[float],
+) -> None:
+    f.parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{f.width}" '
+        f'height="{f.height}" viewBox="0 0 {f.width} {f.height}">'
+    )
+    f.parts.append(
+        f'<rect x="0" y="0" width="{f.width}" height="{f.height}" fill="#ffffff"/>'
+    )
+    if title:
+        f.parts.append(
+            f'<text x="{_n(f.width / 2)}" y="18" text-anchor="middle" '
+            f'{_FONT} font-size="14" font-weight="bold">{_esc(title)}</text>'
+        )
+    x0, x1 = f.left, f.width - f.right
+    y0, y1 = f.top, f.height - f.bottom
+    for t in y_ticks:
+        py = f.py(t)
+        f.parts.append(
+            f'<line x1="{_n(x0)}" y1="{_n(py)}" x2="{_n(x1)}" y2="{_n(py)}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        f.parts.append(
+            f'<text x="{_n(x0 - 6)}" y="{_n(py + 4)}" text-anchor="end" '
+            f'{_FONT} font-size="11">{_esc(fmt_float(t))}</text>'
+        )
+    for t in x_ticks:
+        px = f.px(t)
+        f.parts.append(
+            f'<line x1="{_n(px)}" y1="{_n(y1)}" x2="{_n(px)}" y2="{_n(y1 + 4)}" '
+            f'stroke="#333333" stroke-width="1"/>'
+        )
+        f.parts.append(
+            f'<text x="{_n(px)}" y="{_n(y1 + 18)}" text-anchor="middle" '
+            f'{_FONT} font-size="11">{_esc(fmt_float(t))}</text>'
+        )
+    # axes on top of the grid
+    f.parts.append(
+        f'<line x1="{_n(x0)}" y1="{_n(y1)}" x2="{_n(x1)}" y2="{_n(y1)}" '
+        f'stroke="#333333" stroke-width="1.5"/>'
+    )
+    f.parts.append(
+        f'<line x1="{_n(x0)}" y1="{_n(y0)}" x2="{_n(x0)}" y2="{_n(y1)}" '
+        f'stroke="#333333" stroke-width="1.5"/>'
+    )
+    if xlabel:
+        f.parts.append(
+            f'<text x="{_n((x0 + x1) / 2)}" y="{_n(f.height - 8)}" '
+            f'text-anchor="middle" {_FONT} font-size="12">{_esc(xlabel)}</text>'
+        )
+    if ylabel:
+        cy = (y0 + y1) / 2
+        f.parts.append(
+            f'<text x="14" y="{_n(cy)}" text-anchor="middle" {_FONT} '
+            f'font-size="12" transform="rotate(-90 14 {_n(cy)})">{_esc(ylabel)}</text>'
+        )
+
+
+def _legend(f: _Frame, labels: Sequence[str]) -> None:
+    x = f.width - f.right + 10
+    y = f.top + 6
+    for i, label in enumerate(labels):
+        colour = PALETTE[i % len(PALETTE)]
+        f.parts.append(
+            f'<rect x="{_n(x)}" y="{_n(y + i * 18)}" width="12" height="12" '
+            f'fill="{colour}"/>'
+        )
+        f.parts.append(
+            f'<text x="{_n(x + 17)}" y="{_n(y + i * 18 + 10)}" {_FONT} '
+            f'font-size="11">{_esc(label)}</text>'
+        )
+
+
+def line_chart(
+    series: Sequence[Series],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 400,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    vlines: Sequence[Tuple[float, str]] = (),
+) -> str:
+    """Render line/scatter series (optional CI error bars) as an SVG string.
+
+    ``vlines`` draws labelled vertical reference lines (e.g. a theory
+    threshold).  Axis limits are padded nice-tick ranges unless pinned via
+    ``y_min`` / ``y_max``.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    xs = [x for s in series for x in s.xs]
+    ys = [y for s in series for y in s.ys]
+    for s in series:
+        if s.halfwidths:
+            ys += [y + h for y, h in zip(s.ys, s.halfwidths)]
+            ys += [y - h for y, h in zip(s.ys, s.halfwidths)]
+    xs += [v for v, _ in vlines]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(ys) if y_min is None else y_min
+    y_hi = max(ys) if y_max is None else y_max
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    x_ticks = _ticks(x_lo, x_hi)
+    y_ticks = _ticks(y_lo, y_hi)
+    y_lo = min(y_lo, y_ticks[0]) if y_min is None else y_min
+    y_hi = max(y_hi, y_ticks[-1]) if y_max is None else y_max
+    y_ticks = [t for t in y_ticks if y_lo <= t <= y_hi]
+    legend_w = 10 + max((len(s.label) for s in series), default=0) * 7 if len(series) > 1 else 0
+    f = _Frame(
+        width=width + legend_w, height=height,
+        left=56, right=16 + legend_w, top=28, bottom=44,
+        x_lo=x_lo, x_hi=x_hi, y_lo=y_lo, y_hi=y_hi,
+    )
+    _frame_open(
+        f, title=title, xlabel=xlabel, ylabel=ylabel,
+        x_ticks=x_ticks, y_ticks=y_ticks,
+    )
+    for v, label in vlines:
+        px = f.px(v)
+        f.parts.append(
+            f'<line x1="{_n(px)}" y1="{_n(f.top)}" x2="{_n(px)}" '
+            f'y2="{_n(f.height - f.bottom)}" stroke="#888888" '
+            f'stroke-width="1" stroke-dasharray="4 3"/>'
+        )
+        if label:
+            f.parts.append(
+                f'<text x="{_n(px + 4)}" y="{_n(f.top + 12)}" {_FONT} '
+                f'font-size="10" fill="#555555">{_esc(label)}</text>'
+            )
+    for i, s in enumerate(series):
+        colour = PALETTE[i % len(PALETTE)]
+        pts = [(f.px(x), f.py(y)) for x, y in zip(s.xs, s.ys)]
+        # error bars (clipped to the plot area)
+        if s.halfwidths is not None:
+            for x, y, h in zip(s.xs, s.ys, s.halfwidths):
+                if not (h == h and math.isfinite(h)) or h <= 0:
+                    continue
+                px = f.px(x)
+                top = f.py(min(y + h, f.y_hi))
+                bot = f.py(max(y - h, f.y_lo))
+                f.parts.append(
+                    f'<line x1="{_n(px)}" y1="{_n(top)}" x2="{_n(px)}" '
+                    f'y2="{_n(bot)}" stroke="{colour}" stroke-width="1.2"/>'
+                )
+                for yy in (top, bot):
+                    f.parts.append(
+                        f'<line x1="{_n(px - 3)}" y1="{_n(yy)}" '
+                        f'x2="{_n(px + 3)}" y2="{_n(yy)}" stroke="{colour}" '
+                        f'stroke-width="1.2"/>'
+                    )
+        if not s.markers_only and len(pts) > 1:
+            path = " ".join(
+                f"{'M' if j == 0 else 'L'}{_n(px)},{_n(py)}"
+                for j, (px, py) in enumerate(pts)
+            )
+            f.parts.append(
+                f'<path d="{path}" fill="none" stroke="{colour}" stroke-width="2"/>'
+            )
+        for px, py in pts:
+            f.parts.append(
+                f'<circle cx="{_n(px)}" cy="{_n(py)}" r="3.2" fill="{colour}"/>'
+            )
+    if len(series) > 1:
+        _legend(f, [s.label for s in series])
+    f.parts.append("</svg>")
+    return "\n".join(f.parts)
+
+
+def bar_chart(
+    categories: Sequence[str],
+    groups: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    title: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render grouped vertical bars as an SVG string.
+
+    ``groups`` is ``[(group label, one value per category), ...]``; bars of
+    one category are laid side by side, one colour per group.
+    """
+    if not categories or not groups:
+        raise ValueError("bar_chart needs categories and at least one group")
+    for label, values in groups:
+        if len(values) != len(categories):
+            raise ValueError(f"group {label!r} has {len(values)} values, "
+                             f"expected {len(categories)}")
+    values_flat = [float(v) for _, vs in groups for v in vs]
+    y_lo = min(0.0, min(values_flat))
+    y_hi = max(values_flat)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    y_ticks = _ticks(y_lo, y_hi)
+    y_lo, y_hi = min(y_lo, y_ticks[0]), max(y_hi, y_ticks[-1])
+    legend_w = 10 + max(len(g) for g, _ in groups) * 7 if len(groups) > 1 else 0
+    f = _Frame(
+        width=width + legend_w, height=height,
+        left=56, right=16 + legend_w, top=28, bottom=58,
+        x_lo=0.0, x_hi=float(len(categories)), y_lo=y_lo, y_hi=y_hi,
+    )
+    _frame_open(f, title=title, xlabel="", ylabel=ylabel, x_ticks=(), y_ticks=y_ticks)
+    n_groups = len(groups)
+    slot = (f.width - f.left - f.right) / len(categories)
+    bar_w = slot * 0.8 / n_groups
+    base_py = f.py(max(0.0, y_lo))
+    for gi, (label, vs) in enumerate(groups):
+        colour = PALETTE[gi % len(PALETTE)]
+        for ci, v in enumerate(vs):
+            x = f.left + ci * slot + slot * 0.1 + gi * bar_w
+            py = f.py(float(v))
+            top, bot = min(py, base_py), max(py, base_py)
+            f.parts.append(
+                f'<rect x="{_n(x)}" y="{_n(top)}" width="{_n(bar_w)}" '
+                f'height="{_n(bot - top)}" fill="{colour}"/>'
+            )
+    for ci, cat in enumerate(categories):
+        cx = f.left + (ci + 0.5) * slot
+        f.parts.append(
+            f'<text x="{_n(cx)}" y="{_n(f.height - f.bottom + 16)}" '
+            f'text-anchor="middle" {_FONT} font-size="11">{_esc(cat)}</text>'
+        )
+    if len(groups) > 1:
+        _legend(f, [g for g, _ in groups])
+    f.parts.append("</svg>")
+    return "\n".join(f.parts)
+
+
+# --------------------------------------------------------------------- #
+# Figure builders: ExperimentTable → SVG
+# --------------------------------------------------------------------- #
+
+
+def _series_by(
+    table: ExperimentTable,
+    group_col: str,
+    x_col: str,
+    y_col: str,
+    half_col: Optional[str] = None,
+) -> List[Series]:
+    """Split a table into one series per distinct ``group_col`` value
+    (stable first-appearance order)."""
+    order: List[str] = []
+    buckets: Dict[str, List[Mapping[str, Any]]] = {}
+    for row in table:
+        key = str(row[group_col])
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(row)
+    def _half(row: Mapping[str, Any]) -> float:
+        v = row.get(half_col)
+        # None marks "no CI yet" (n < 2) — render that point without a bar
+        return float(v) if isinstance(v, (int, float)) else math.nan
+
+    out = []
+    for key in order:
+        rows = buckets[key]
+        halfwidths = (
+            tuple(_half(r) for r in rows)
+            if half_col and any(half_col in r for r in rows)
+            else None
+        )
+        out.append(
+            Series(
+                label=key,
+                xs=tuple(float(r[x_col]) for r in rows),
+                ys=tuple(float(r[y_col]) for r in rows),
+                halfwidths=halfwidths,
+            )
+        )
+    return out
+
+
+def fig_disintegration(table: ExperimentTable) -> str:
+    """E5 — the paper's headline contrast: γ (largest-component fraction)
+    vs the expansion-relative fault level p/α, chain graph vs torus."""
+    return line_chart(
+        _series_by(table, "graph", "p_over_alpha", "gamma_mean", "gamma_ci95"),
+        title="Disintegration under random faults (E5)",
+        xlabel="fault probability multiple p / α",
+        ylabel="mean largest-component fraction γ",
+        y_min=0.0, y_max=1.05,
+    )
+
+
+def fig_prune2_success(table: ExperimentTable) -> str:
+    """E6 — Prune2 success probability vs fault probability, with the
+    (very conservative) Theorem 3.4 threshold marked."""
+    theory = float(table[0]["theory_p_max"]) if len(table) else 0.0
+    return line_chart(
+        _series_by(table, "graph", "p_fault", "success_rate", "success_ci95"),
+        title="Prune2 success rate vs fault probability (E6)",
+        xlabel="fault probability p",
+        ylabel="success rate (|H| ≥ n/2 and αe(H) ≥ ε·αe)",
+        y_min=0.0, y_max=1.05,
+        vlines=((theory, "Thm 3.4 p_max"),) if theory > 0 else (),
+    )
+
+
+def fig_expansion_vs_fault(table: ExperimentTable) -> str:
+    """E9 — survivor fraction after prune vs fault rate (the
+    expansion-vs-fault-rate view of the routing experiment)."""
+    return line_chart(
+        _series_by(table, "graph", "p", "survivor_frac"),
+        title="Surviving fraction after Prune vs fault rate (E9)",
+        xlabel="fault probability p",
+        ylabel="surviving fraction |H| / n",
+        y_min=0.0, y_max=1.05,
+    )
+
+
+def fig_percolation_thresholds(table: ExperimentTable) -> str:
+    """E8 — measured percolation thresholds (bracket as error bar) against
+    the literature values the paper surveys (table T1)."""
+    measured = Series(
+        label="measured p*",
+        xs=tuple(float(i) for i in range(len(table))),
+        ys=tuple(float(r["measured_p*"]) for r in table),
+        halfwidths=tuple(
+            (float(r["bracket_hi"]) - float(r["bracket_lo"])) / 2.0 for r in table
+        ),
+        markers_only=True,
+    )
+    literature = Series(
+        label="literature p*",
+        xs=tuple(float(i) + 0.14 for i in range(len(table))),
+        ys=tuple(
+            (float(r["lit_lo"]) + float(r["lit_hi"])) / 2.0 for r in table
+        ),
+        halfwidths=tuple(
+            (float(r["lit_hi"]) - float(r["lit_lo"])) / 2.0 for r in table
+        ),
+        markers_only=True,
+    )
+    svg = line_chart(
+        [measured, literature],
+        title="Critical probabilities: measured vs literature (E8 / table T1)",
+        xlabel="family index (see table E8)",
+        ylabel="critical probability p*",
+        y_min=0.0,
+    )
+    return svg
+
+
+def fig_cutfinder_ablation(table: ExperimentTable) -> str:
+    """E11 — mean surviving size per cut-finder strategy, grouped by
+    instance (the DESIGN.md §2 substitution quantified)."""
+    categories: List[str] = []
+    for row in table:
+        g = str(row["graph"])
+        if g not in categories:
+            categories.append(g)
+    finders: List[str] = []
+    for row in table:
+        fd = str(row["finder"])
+        if fd not in finders:
+            finders.append(fd)
+    lookup = {(str(r["graph"]), str(r["finder"])): float(r["mean_H"]) for r in table}
+    groups = [
+        (fd, [lookup.get((cat, fd), 0.0) for cat in categories]) for fd in finders
+    ]
+    return bar_chart(
+        categories, groups,
+        title="Cut-finder ablation: mean |H| per strategy (E11)",
+        ylabel="mean surviving nodes |H|",
+    )
+
+
+#: Report figures: file stem → (experiment id, builder).
+PAPER_FIGURES: Dict[str, Tuple[str, Callable[[ExperimentTable], str]]] = {
+    "disintegration": ("e5", fig_disintegration),
+    "prune2_success": ("e6", fig_prune2_success),
+    "expansion_vs_fault": ("e9", fig_expansion_vs_fault),
+    "percolation_thresholds": ("e8", fig_percolation_thresholds),
+    "cutfinder_ablation": ("e11", fig_cutfinder_ablation),
+}
+
+
+def save_figure(svg: str, path) -> List[str]:
+    """Write ``svg`` to ``path`` (and a PNG twin when cairosvg is
+    importable — gated, never required).  Returns the file names written."""
+    from pathlib import Path
+
+    path = Path(path)
+    path.write_text(svg, encoding="utf-8")
+    written = [path.name]
+    try:  # pragma: no cover - exercised only where cairosvg exists
+        import cairosvg  # type: ignore
+
+        png = path.with_suffix(".png")
+        cairosvg.svg2png(bytestring=svg.encode(), write_to=str(png))
+        written.append(png.name)
+    except Exception:
+        pass
+    return written

@@ -1,0 +1,339 @@
+"""Provenance manifests for the paper artifact, and the CI-overlap diff.
+
+``manifest.json`` is the diffable identity of one paper run: which
+experiments ran with which config, the content hashes of every sweep/spec
+they executed (seed policies, trial counts included), per-table digests,
+the Monte-Carlo estimates with their CI half-widths, figure digests, and
+the package versions that produced it all.  Wall-clock data is deliberately
+excluded — two runs of the same config on the same code must produce
+*byte-identical* manifests (timestamps live in the separate
+``timings.json``, which is never diffed).
+
+:func:`diff_manifests` compares two manifests statistically rather than
+textually: a difference is **flagged** only when both runs carry a
+confidence interval for the same quantity (joined on experiment × row key
+× column) and the intervals do not overlap — the reproduction-failed
+signal.  Everything else (config changes, version skew, row-count or
+digest mismatches, seed-dependent point values) is reported
+informationally.  Two smoke runs that differ only in seed therefore diff
+clean unless an estimate actually moved by more than its error bars.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .tables import (
+    ExperimentTable,
+    _canonical,
+    experiment_sort_key,
+    fmt_float,
+    format_row_dicts,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "DiffEntry",
+    "ManifestDiff",
+    "diff_manifests",
+]
+
+#: Bumped whenever the manifest layout changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+_PAPER = {
+    "title": "The effect of faults on network expansion",
+    "authors": "Bagchi, Bhargava, Chaudhary, Eppstein, Scheideler",
+    "venue": "SPAA 2004",
+}
+
+
+def package_versions() -> Dict[str, str]:
+    """The version stamp embedded in every manifest."""
+    import numpy
+
+    try:
+        from importlib.metadata import version
+
+        repro_version = version("repro-fault-expansion")
+    except Exception:
+        repro_version = "source"
+    return {
+        "python": platform.python_version(),
+        "numpy": str(numpy.__version__),
+        "repro": repro_version,
+    }
+
+
+def _stat_entries(table: ExperimentTable) -> List[Dict[str, Any]]:
+    """One entry per (row, stat column): the diffable estimates."""
+    out: List[Dict[str, Any]] = []
+    for row in table:
+        key = table.row_key(row)
+        for sc in table.stat_columns:
+            mean = row.get(sc.mean)
+            if not isinstance(mean, (int, float)) or isinstance(mean, bool):
+                continue
+            half = row.get(sc.halfwidth)
+            n = row.get(sc.count) if sc.count else None
+            out.append(
+                {
+                    "row": key,
+                    "column": sc.mean,
+                    "mean": float(mean),
+                    "halfwidth": (
+                        float(half)
+                        if isinstance(half, (int, float)) and not isinstance(half, bool)
+                        else None
+                    ),
+                    "n": int(n) if isinstance(n, (int, float)) else None,
+                }
+            )
+    return out
+
+
+def build_manifest(
+    tables: Mapping[str, ExperimentTable],
+    config: Mapping[str, Any],
+    *,
+    figures: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest dict for one paper run.
+
+    ``tables`` maps experiment id → :class:`ExperimentTable`; ``config``
+    is the run configuration (seed, scale, smoke, experiment list — no
+    wall-clock data, no worker counts); ``figures`` maps figure file name
+    → SVG content (digested, not embedded).
+    """
+    experiments: Dict[str, Any] = {}
+    for eid in sorted(tables, key=experiment_sort_key):
+        table = tables[eid]
+        passed, total = table.checks()
+        experiments[eid] = {
+            "title": table.title,
+            "paper_section": table.paper_section,
+            "rows": len(table),
+            "table_digest": table.digest(),
+            "checks": {"passed": passed, "total": total},
+            "provenance": [dict(p) for p in table.provenance],
+            "stats": _stat_entries(table),
+        }
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "paper": dict(_PAPER),
+        "config": dict(config),
+        "versions": package_versions(),
+        "experiments": experiments,
+        "figures": {
+            name: hashlib.sha256(svg.encode()).hexdigest()[:16]
+            for name, svg in (figures or {}).items()
+        },
+    }
+
+
+def write_manifest(manifest: Mapping[str, Any], path) -> None:
+    """Write a manifest deterministically (sorted keys, fixed indent)."""
+    Path(path).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_manifest(path) -> Dict[str, Any]:
+    manifest = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(manifest, dict):
+        raise ValueError(f"{path}: manifest must be a JSON object")
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported manifest schema {schema!r} "
+            f"(this build reads schema {MANIFEST_SCHEMA})"
+        )
+    return manifest
+
+
+# --------------------------------------------------------------------- #
+# Diff
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One observed difference between two manifests."""
+
+    experiment: str
+    location: str  # row key / config key / "figures" ...
+    column: str
+    a: Any
+    b: Any
+    detail: str = ""
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "where": self.location,
+            "column": self.column,
+            "a": self.a,
+            "b": self.b,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ManifestDiff:
+    """Outcome of :func:`diff_manifests`.
+
+    ``flagged`` holds statistically significant differences (non-overlapping
+    confidence intervals — the reproduction-failed signal); ``informational``
+    holds everything else that changed.  ``clean`` is true when nothing is
+    flagged — seed-to-seed variation within error bars diffs clean.
+    """
+
+    flagged: Tuple[DiffEntry, ...]
+    informational: Tuple[DiffEntry, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.flagged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "flagged": [e.row() for e in self.flagged],
+            "informational": [e.row() for e in self.informational],
+        }
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        if self.flagged:
+            lines.append(
+                f"FLAGGED — {len(self.flagged)} result(s) with non-overlapping "
+                "confidence intervals:"
+            )
+            lines.append(format_row_dicts([e.row() for e in self.flagged]))
+        else:
+            lines.append("clean: no statistically significant differences "
+                         "(all compared CIs overlap)")
+        if self.informational:
+            lines.append("")
+            lines.append(
+                f"{len(self.informational)} informational difference(s) "
+                "(point values / config / structure — not significance-tested):"
+            )
+            lines.append(format_row_dicts([e.row() for e in self.informational]))
+        return "\n".join(lines)
+
+
+def _fmt(v: Any) -> Any:
+    if isinstance(v, float):
+        return fmt_float(v)
+    return v
+
+
+def diff_manifests(a: Mapping[str, Any], b: Mapping[str, Any]) -> ManifestDiff:
+    """Statistically compare two manifests (see the module docstring for
+    the flag-vs-informational rule)."""
+    flagged: List[DiffEntry] = []
+    info: List[DiffEntry] = []
+
+    for key in ("config", "versions"):
+        da, db = a.get(key, {}), b.get(key, {})
+        for field_name in sorted(set(da) | set(db)):
+            if da.get(field_name) != db.get(field_name):
+                info.append(
+                    DiffEntry(
+                        experiment="-", location=key, column=str(field_name),
+                        a=da.get(field_name), b=db.get(field_name),
+                    )
+                )
+
+    exps_a = a.get("experiments", {})
+    exps_b = b.get("experiments", {})
+    for eid in sorted(set(exps_a) | set(exps_b), key=experiment_sort_key):
+        ea, eb = exps_a.get(eid), exps_b.get(eid)
+        if ea is None or eb is None:
+            info.append(
+                DiffEntry(
+                    experiment=eid, location="experiments", column="present",
+                    a=ea is not None, b=eb is not None,
+                    detail="experiment present in only one run",
+                )
+            )
+            continue
+        if ea.get("rows") != eb.get("rows"):
+            info.append(
+                DiffEntry(
+                    experiment=eid, location="table", column="rows",
+                    a=ea.get("rows"), b=eb.get("rows"),
+                )
+            )
+        if ea.get("checks") != eb.get("checks"):
+            info.append(
+                DiffEntry(
+                    experiment=eid, location="table", column="checks",
+                    a=ea.get("checks"), b=eb.get("checks"),
+                    detail="theory-bound pass counts differ",
+                )
+            )
+        if ea.get("table_digest") != eb.get("table_digest"):
+            info.append(
+                DiffEntry(
+                    experiment=eid, location="table", column="table_digest",
+                    a=ea.get("table_digest"), b=eb.get("table_digest"),
+                    detail="table content differs (see stats for significance)",
+                )
+            )
+        stats_a = {(s["row"], s["column"]): s for s in ea.get("stats", ())}
+        stats_b = {(s["row"], s["column"]): s for s in eb.get("stats", ())}
+        for skey in sorted(set(stats_a) | set(stats_b)):
+            sa, sb = stats_a.get(skey), stats_b.get(skey)
+            row_key, column = skey
+            if sa is None or sb is None:
+                info.append(
+                    DiffEntry(
+                        experiment=eid, location=row_key, column=column,
+                        a=None if sa is None else _fmt(sa["mean"]),
+                        b=None if sb is None else _fmt(sb["mean"]),
+                        detail="estimate present in only one run",
+                    )
+                )
+                continue
+            ha, hb = sa.get("halfwidth"), sb.get("halfwidth")
+            ma, mb = float(sa["mean"]), float(sb["mean"])
+            if ha is None or hb is None:
+                if ma != mb:
+                    info.append(
+                        DiffEntry(
+                            experiment=eid, location=row_key, column=column,
+                            a=_fmt(ma), b=_fmt(mb),
+                            detail="no CI on one side",
+                        )
+                    )
+                continue
+            gap = abs(ma - mb)
+            if gap > float(ha) + float(hb):
+                flagged.append(
+                    DiffEntry(
+                        experiment=eid, location=row_key, column=column,
+                        a=f"{fmt_float(ma)}±{fmt_float(float(ha))}",
+                        b=f"{fmt_float(mb)}±{fmt_float(float(hb))}",
+                        detail=f"CIs disjoint (gap {fmt_float(gap)})",
+                    )
+                )
+            elif ma != mb:
+                info.append(
+                    DiffEntry(
+                        experiment=eid, location=row_key, column=column,
+                        a=_fmt(ma), b=_fmt(mb),
+                        detail="within CI overlap",
+                    )
+                )
+    return ManifestDiff(flagged=tuple(flagged), informational=tuple(info))

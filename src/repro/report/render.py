@@ -1,0 +1,237 @@
+"""Assembly of the human-readable paper report (Markdown + HTML).
+
+Both renderers walk the same structured inputs — the experiment tables,
+the manifest, and the figure SVGs — so the two documents always agree;
+neither is derived from the other.  Output is deterministic: no
+timestamps, no environment-dependent ordering (experiments render in
+e1..e11 order, manifest fields sorted).
+
+The Markdown report links figures by relative path (``figures/*.svg``,
+next to ``report.md`` in the artifact directory); the HTML report embeds
+the SVGs inline so ``report.html`` is fully self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from .figures import PAPER_FIGURES
+from .tables import ExperimentTable, experiment_sort_key, fmt_float, markdown_table
+
+__all__ = ["experiment_order", "render_markdown", "render_html"]
+
+
+def experiment_order(tables: Mapping[str, ExperimentTable]) -> List[str]:
+    """e1..e11 ordering (numeric, not lexicographic)."""
+    return sorted(tables, key=experiment_sort_key)
+
+
+def _figures_for(eid: str, figures: Mapping[str, str]) -> List[str]:
+    """Figure file stems that plot experiment ``eid`` (declaration order)."""
+    return [
+        name for name, (fig_eid, _) in PAPER_FIGURES.items()
+        if fig_eid == eid and name in figures
+    ]
+
+
+def _summary_rows(
+    tables: Mapping[str, ExperimentTable], manifest: Mapping[str, Any]
+) -> List[Dict[str, Any]]:
+    rows = []
+    for eid in experiment_order(tables):
+        table = tables[eid]
+        passed, total = table.checks()
+        rows.append(
+            {
+                "id": eid,
+                "experiment": table.title,
+                "paper": table.paper_section,
+                "rows": len(table),
+                "checks": f"{passed}/{total}" if total else "—",
+                "table": f"[tables/{eid}.json](tables/{eid}.json)",
+            }
+        )
+    return rows
+
+
+def _config_lines(manifest: Mapping[str, Any]) -> List[str]:
+    config = manifest.get("config", {})
+    versions = manifest.get("versions", {})
+    cfg = ", ".join(f"{k}={config[k]}" for k in sorted(config))
+    ver = ", ".join(f"{k} {versions[k]}" for k in sorted(versions))
+    return [
+        f"*Configuration:* {cfg}.",
+        f"*Versions:* {ver}.",
+        "*Regenerate:* `python -m repro paper run --out <dir>` "
+        "(append `--smoke` for the CI-sized run); two artifact directories "
+        "compare with `python -m repro paper diff A B`.",
+    ]
+
+
+def render_markdown(
+    tables: Mapping[str, ExperimentTable],
+    manifest: Mapping[str, Any],
+    figures: Mapping[str, str],
+) -> str:
+    """The ``report.md`` document."""
+    paper = manifest.get("paper", {})
+    lines: List[str] = []
+    lines.append(f"# Reproduction report — {paper.get('title', 'paper')}")
+    lines.append("")
+    lines.append(
+        f"*{paper.get('authors', '')}* — {paper.get('venue', '')}. "
+        "Every table below is regenerated from source by this repository; "
+        "`manifest.json` records the spec hashes, seed policies, trial "
+        "counts and CI half-widths that make two runs diffable."
+    )
+    lines.append("")
+    lines.extend(_config_lines(manifest))
+    lines.append("")
+    lines.append("## Summary")
+    lines.append("")
+    lines.append(
+        markdown_table(
+            ["id", "experiment", "paper", "rows", "checks", "table"],
+            [
+                [r["id"], r["experiment"], r["paper"], r["rows"], r["checks"], r["table"]]
+                for r in _summary_rows(tables, manifest)
+            ],
+        )
+    )
+    lines.append("")
+    for eid in experiment_order(tables):
+        table = tables[eid]
+        lines.append(f"## {eid.upper()} — {table.title}")
+        lines.append("")
+        if table.paper_section:
+            lines.append(f"*Paper:* {table.paper_section}.")
+        if table.caption:
+            lines.append(f"{table.caption}")
+        lines.append("")
+        for fig in _figures_for(eid, figures):
+            lines.append(f"![{fig}](figures/{fig}.svg)")
+            lines.append("")
+        if len(table):
+            lines.append(table.to_markdown())
+        else:
+            lines.append("*(no rows)*")
+        lines.append("")
+        sweeps = [p for p in table.provenance if p.get("kind") == "sweep"]
+        graphs = [p for p in table.provenance if p.get("kind") == "graph"]
+        prov_bits = []
+        if sweeps:
+            prov_bits.append(
+                "sweeps "
+                + ", ".join(
+                    f"`{p['hash']}` ({p.get('seed_policy', 'scenario')}, "
+                    f"{p.get('trials', '?')}×{p.get('points', '?')})"
+                    for p in sweeps
+                )
+            )
+        if graphs:
+            prov_bits.append(
+                "graphs " + ", ".join(f"`{p['hash']}`" for p in graphs)
+            )
+        if prov_bits:
+            lines.append(f"<sub>Provenance: {'; '.join(prov_bits)}.</sub>")
+            lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2rem auto;
+       max-width: 62rem; padding: 0 1rem; color: #1a1a2e; }
+h1, h2 { color: #16213e; }
+h2 { border-bottom: 2px solid #e0e0e8; padding-bottom: 0.3rem;
+     margin-top: 2.2rem; }
+table { border-collapse: collapse; margin: 0.8rem 0; font-size: 0.85rem; }
+th, td { border: 1px solid #d0d0d8; padding: 0.3rem 0.55rem;
+         text-align: right; }
+th { background: #f0f0f5; }
+td:first-child, th:first-child { text-align: left; }
+figure { margin: 1rem 0; }
+.caption { color: #444455; }
+.provenance { color: #777788; font-size: 0.75rem; }
+"""
+
+
+def _html_escape(s: Any) -> str:
+    return (
+        str(s).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _html_cell(v: Any) -> str:
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        return _html_escape(fmt_float(v))
+    return _html_escape(v)
+
+
+def _html_table(rows: List[Mapping[str, Any]]) -> str:
+    if not rows:
+        return "<p><em>(no rows)</em></p>"
+    headers = list(rows[0].keys())
+    parts = ["<table>", "<thead><tr>"]
+    parts += [f"<th>{_html_escape(h)}</th>" for h in headers]
+    parts.append("</tr></thead>")
+    parts.append("<tbody>")
+    for row in rows:
+        parts.append(
+            "<tr>" + "".join(f"<td>{_html_cell(row.get(h, ''))}</td>" for h in headers)
+            + "</tr>"
+        )
+    parts.append("</tbody></table>")
+    return "\n".join(parts)
+
+
+def render_html(
+    tables: Mapping[str, ExperimentTable],
+    manifest: Mapping[str, Any],
+    figures: Mapping[str, str],
+) -> str:
+    """The self-contained ``report.html`` document (SVGs inlined)."""
+    paper = manifest.get("paper", {})
+    title = f"Reproduction report — {paper.get('title', 'paper')}"
+    parts: List[str] = []
+    parts.append("<!DOCTYPE html>")
+    parts.append('<html lang="en"><head><meta charset="utf-8">')
+    parts.append(f"<title>{_html_escape(title)}</title>")
+    parts.append(f"<style>{_HTML_STYLE}</style></head><body>")
+    parts.append(f"<h1>{_html_escape(title)}</h1>")
+    parts.append(
+        f"<p><em>{_html_escape(paper.get('authors', ''))}</em> — "
+        f"{_html_escape(paper.get('venue', ''))}.</p>"
+    )
+    for line in _config_lines(manifest):
+        parts.append(
+            f'<p class="caption">{_html_escape(line).replace("`", "")}</p>'
+        )
+    parts.append("<h2>Summary</h2>")
+    summary = [
+        {k: v for k, v in row.items() if k != "table"}
+        for row in _summary_rows(tables, manifest)
+    ]
+    parts.append(_html_table(summary))
+    for eid in experiment_order(tables):
+        table = tables[eid]
+        parts.append(f"<h2>{eid.upper()} — {_html_escape(table.title)}</h2>")
+        if table.paper_section:
+            parts.append(
+                f'<p class="caption"><em>Paper:</em> '
+                f"{_html_escape(table.paper_section)}.</p>"
+            )
+        if table.caption:
+            parts.append(f'<p class="caption">{_html_escape(table.caption)}</p>')
+        for fig in _figures_for(eid, figures):
+            parts.append(f"<figure>{figures[fig]}</figure>")
+        parts.append(_html_table(list(table.rows)))
+        sweeps = [p for p in table.provenance if p.get("kind") == "sweep"]
+        if sweeps:
+            hashes = ", ".join(str(p["hash"]) for p in sweeps)
+            parts.append(
+                f'<p class="provenance">sweep hashes: {_html_escape(hashes)}</p>'
+            )
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -35,6 +35,7 @@ __all__ = [
     "P2Quantile",
     "normal_ppf",
     "z_value",
+    "t_value",
     "normal_interval",
     "wilson_interval",
 ]
@@ -61,6 +62,13 @@ def normal_ppf(p: float) -> float:
 
     Acklam's rational approximation with one Halley refinement step; the
     result is accurate to full double precision for ``p`` in (0, 1).
+
+    >>> round(normal_ppf(0.975), 4)
+    1.96
+    >>> normal_ppf(0.5)
+    0.0
+    >>> round(normal_ppf(0.1), 4)
+    -1.2816
     """
     if not 0.0 < p < 1.0:
         raise InvalidParameterError(f"normal_ppf needs p in (0, 1), got {p}")
@@ -85,12 +93,122 @@ def normal_ppf(p: float) -> float:
 
 
 def z_value(confidence: float) -> float:
-    """Two-sided z-value for a confidence level (e.g. 0.95 → 1.9600)."""
+    """Two-sided z-value for a confidence level (e.g. 0.95 → 1.9600).
+
+    >>> round(z_value(0.95), 4)
+    1.96
+    >>> round(z_value(0.99), 4)
+    2.5758
+    """
     if not 0.0 < confidence < 1.0:
         raise InvalidParameterError(
             f"confidence must be in (0, 1), got {confidence}"
         )
     return normal_ppf(0.5 + confidence / 2.0)
+
+
+# --------------------------------------------------------------------- #
+# Student-t quantile (no scipy)
+# --------------------------------------------------------------------- #
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (modified Lentz)."""
+    tiny = 1e-30
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularised incomplete beta function ``I_x(a, b)``."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _t_cdf(t: float, df: float) -> float:
+    """CDF of Student's t with ``df`` degrees of freedom."""
+    x = df / (df + t * t)
+    p = 0.5 * _betainc(df / 2.0, 0.5, x)
+    return 1.0 - p if t >= 0 else p
+
+
+def t_value(confidence: float, df: int) -> float:
+    """Two-sided Student-t critical value (e.g. ``t_value(0.95, 2)`` ≈ 4.30).
+
+    The honest small-sample replacement for :func:`z_value`: the report
+    pipeline uses it for the CI half-widths of mean estimates with a
+    handful of trials, where the normal approximation is anti-conservative
+    (``t/z`` ≈ 2.2 at 3 observations).  Computed scipy-free by bisecting
+    the t CDF (regularised incomplete beta via a Lentz continued
+    fraction); converges to :func:`z_value` as ``df`` grows.
+
+    >>> round(t_value(0.95, 2), 3)
+    4.303
+    >>> round(t_value(0.95, 10), 3)
+    2.228
+    >>> abs(t_value(0.95, 10_000) - z_value(0.95)) < 1e-3
+    True
+    """
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if df < 1:
+        raise InvalidParameterError(f"df must be >= 1, got {df}")
+    target = 0.5 + confidence / 2.0
+    lo, hi = 0.0, 2.0
+    while _t_cdf(hi, df) < target:
+        hi *= 2.0
+        if hi > 1e9:  # pragma: no cover - unreachable for valid inputs
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if _t_cdf(mid, df) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-10 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
 
 
 # --------------------------------------------------------------------- #
@@ -105,6 +223,21 @@ class OnlineStats:
     shards accumulated independently — e.g. per worker — collapse into the
     same numbers one sequential pass would have produced, up to float
     round-off.
+
+    >>> stats = OnlineStats()
+    >>> for x in (1.0, 2.0, 3.0, 4.0):
+    ...     stats.push(x)
+    >>> stats.count, stats.mean, round(stats.std, 4)
+    (4, 2.5, 1.291)
+    >>> other = OnlineStats()
+    >>> other.push(5.0)
+    >>> stats.merge(other).count    # fold a worker's shard in place
+    5
+    >>> stats.mean
+    3.0
+    >>> lo, hi = stats.interval(0.95)
+    >>> lo < stats.mean < hi
+    True
     """
 
     __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
@@ -204,7 +337,14 @@ class OnlineStats:
 def normal_interval(
     mean: float, std: float, n: int, confidence: float = 0.95
 ) -> Tuple[float, float]:
-    """Normal-approximation CI for a mean given summary statistics."""
+    """Normal-approximation CI for a mean given summary statistics.
+
+    >>> lo, hi = normal_interval(0.5, 0.1, 100)
+    >>> (round(lo, 4), round(hi, 4))
+    (0.4804, 0.5196)
+    >>> normal_interval(0.5, 0.1, 1)
+    (-inf, inf)
+    """
     if n < 2:
         return -math.inf, math.inf
     half = z_value(confidence) * std / math.sqrt(n)
@@ -219,6 +359,13 @@ def wilson_interval(
     Unlike the Wald interval this never collapses to zero width at
     0/n or n/n successes, so adaptive allocation keeps sampling points
     whose rates merely *look* settled after a handful of trials.
+
+    >>> lo, hi = wilson_interval(0, 3)      # 0/3 successes: still wide
+    >>> (round(lo, 3), round(hi, 3))
+    (0.0, 0.561)
+    >>> lo, hi = wilson_interval(90, 100)
+    >>> (round(lo, 3), round(hi, 3))
+    (0.826, 0.945)
     """
     if n <= 0:
         return 0.0, 1.0
@@ -256,6 +403,14 @@ class P2Quantile:
     buffered values.  Accuracy is within a few percent of the true
     quantile for the smooth unimodal metric distributions a sweep
     aggregates (γ fractions, retention ratios).
+
+    >>> sketch = P2Quantile(0.5)
+    >>> for x in range(1, 100):
+    ...     sketch.push(float(x))
+    >>> sketch.count
+    99
+    >>> abs(sketch.value - 50.0) < 2.0   # median of 1..99
+    True
     """
 
     __slots__ = ("p", "_buf", "_m")

@@ -1,83 +1,16 @@
-"""Plain-text table rendering for experiment output.
+"""Backward-compatibility shim — the table renderers live in
+:mod:`repro.report.tables` now.
 
-Benchmarks regenerate the paper's quantitative statements as tables; this
-module renders them consistently so EXPERIMENTS.md and the bench stdout share
-one format.  No external dependencies: column widths are computed from the
-stringified cells.
+The formatting logic used to be duplicated between this module and the
+report layer; it has a single home in :mod:`repro.report.tables` (which
+also owns the Markdown renderers and the structured
+:class:`~repro.report.tables.ExperimentTable`).  Import from there in new
+code; this module only re-exports the original three helpers so existing
+imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from ..report.tables import fmt_float, format_row_dicts, format_table
 
 __all__ = ["format_table", "format_row_dicts", "fmt_float"]
-
-
-def fmt_float(x: float, digits: int = 4) -> str:
-    """Format a float compactly: fixed-point for moderate magnitudes,
-    scientific for very small/large ones, and integers without a fraction."""
-    if x != x:  # NaN
-        return "nan"
-    if x == float("inf"):
-        return "inf"
-    if x == float("-inf"):
-        return "-inf"
-    if x != 0 and (abs(x) < 10 ** (-digits) or abs(x) >= 10**6):
-        return f"{x:.{digits}e}"
-    if float(x).is_integer():
-        return str(int(x))
-    return f"{x:.{digits}g}"
-
-
-def _stringify(cell: Any) -> str:
-    if isinstance(cell, bool):
-        return "yes" if cell else "no"
-    if isinstance(cell, float):
-        return fmt_float(cell)
-    return str(cell)
-
-
-def format_table(
-    headers: Sequence[str],
-    rows: Iterable[Sequence[Any]],
-    *,
-    title: str | None = None,
-) -> str:
-    """Render a monospace table with a header rule.
-
-    Parameters
-    ----------
-    headers:
-        Column names.
-    rows:
-        Row cell sequences; cells are stringified via :func:`fmt_float` rules.
-    title:
-        Optional title printed above the table.
-    """
-    str_rows = [[_stringify(c) for c in row] for row in rows]
-    ncols = len(headers)
-    for r in str_rows:
-        if len(r) != ncols:
-            raise ValueError(f"row has {len(r)} cells, expected {ncols}")
-    widths = [
-        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
-        for j in range(ncols)
-    ]
-    lines = []
-    if title:
-        lines.append(title)
-    header = "  ".join(h.ljust(widths[j]) for j, h in enumerate(headers))
-    lines.append(header)
-    lines.append("  ".join("-" * w for w in widths))
-    for r in str_rows:
-        lines.append("  ".join(r[j].rjust(widths[j]) for j in range(ncols)))
-    return "\n".join(lines)
-
-
-def format_row_dicts(rows: Sequence[dict], *, title: str | None = None) -> str:
-    """Render a list of homogeneous dicts as a table (keys of the first row
-    define the columns)."""
-    if not rows:
-        return title or ""
-    headers = list(rows[0].keys())
-    return format_table(headers, [[row[h] for h in headers] for row in rows], title=title)

@@ -1,0 +1,94 @@
+"""Documentation cannot drift from the API: execute every fenced
+``python`` block in README.md and docs/*.md, and check the generated CLI
+reference is in sync with the argparse parsers.
+
+Blocks in one file run sequentially in a shared namespace (later blocks
+may build on earlier ones, exactly as a reader would execute them), with
+the working directory pointed at a tmpdir so store-directory examples
+leave no droppings in the repository.
+"""
+
+import importlib.util
+import pathlib
+import re
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+DOC_FILES = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+_FENCE = re.compile(
+    r"^```python[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+
+def _python_blocks(path: pathlib.Path):
+    text = path.read_text(encoding="utf-8")
+    out = []
+    for match in _FENCE.finditer(text):
+        lineno = text[: match.start()].count("\n") + 2
+        out.append((lineno, match.group(1)))
+    return out
+
+
+def test_docs_corpus_is_nonempty():
+    assert (REPO / "docs" / "index.md").is_file()
+    assert (REPO / "mkdocs.yml").is_file()
+    assert any(_python_blocks(p) for p in DOC_FILES)
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_python_snippets_execute(path, tmp_path, monkeypatch, capsys):
+    blocks = _python_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no python blocks")
+    monkeypatch.chdir(tmp_path)
+    namespace = {"__name__": f"docs_snippet_{path.stem}"}
+    for lineno, code in blocks:
+        try:
+            exec(compile(code, f"{path.name}:{lineno}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - the assertion message
+            pytest.fail(
+                f"{path.name} block at line {lineno} failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+
+def test_mkdocs_nav_pages_exist():
+    """Every nav entry in mkdocs.yml must point at an existing page
+    (the local stand-in for `mkdocs build --strict`, which CI runs)."""
+    config = (REPO / "mkdocs.yml").read_text(encoding="utf-8")
+    pages = re.findall(r":\s*([\w\-]+\.md)\s*$", config, re.MULTILINE)
+    assert len(pages) >= 8
+    for page in pages:
+        assert (REPO / "docs" / page).is_file(), f"mkdocs.yml names missing {page}"
+
+
+def test_generated_cli_reference_is_fresh():
+    """docs/cli.md must match what scripts/gen_cli_docs.py generates."""
+    spec = importlib.util.spec_from_file_location(
+        "gen_cli_docs", REPO / "scripts" / "gen_cli_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    expected = module.generate()
+    actual = (REPO / "docs" / "cli.md").read_text(encoding="utf-8")
+    assert actual == expected, (
+        "docs/cli.md is stale — regenerate with "
+        "`PYTHONPATH=src python scripts/gen_cli_docs.py`"
+    )
+
+
+def test_mkdocs_build_strict_when_available(tmp_path):
+    """Run the real strict build when mkdocs is installed (CI installs it;
+    the dev container may not)."""
+    pytest.importorskip("mkdocs")
+    import subprocess
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "mkdocs", "build", "--strict",
+         "--site-dir", str(tmp_path / "site")],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,120 @@
+"""Unit tests for the dependency-free SVG chart layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.report.figures import (
+    PAPER_FIGURES,
+    Series,
+    bar_chart,
+    line_chart,
+    save_figure,
+)
+from repro.report.tables import ExperimentTable
+
+
+def _parse(svg: str) -> ET.Element:
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestLineChart:
+    def test_well_formed_and_deterministic(self):
+        series = [
+            Series("a", (0.0, 1.0, 2.0), (0.1, 0.5, 0.9), (0.05, 0.02, 0.01)),
+            Series("b", (0.0, 1.0, 2.0), (0.9, 0.4, 0.2)),
+        ]
+        kwargs = dict(title="T", xlabel="x", ylabel="y", y_min=0.0, y_max=1.0)
+        svg = line_chart(series, **kwargs)
+        _parse(svg)
+        assert svg == line_chart(series, **kwargs)  # byte-identical
+        assert "T" in svg and "<circle" in svg and "<path" in svg
+
+    def test_error_bars_only_for_finite_halfwidths(self):
+        svg = line_chart(
+            [Series("a", (0.0, 1.0), (0.5, 0.6),
+                    (float("nan"), 0.1))],
+        )
+        _parse(svg)
+
+    def test_none_halfwidth_column_tolerated_in_series_builder(self):
+        from repro.report.figures import _series_by
+
+        table = ExperimentTable(
+            experiment="e5", title="t",
+            rows=({"g": "a", "x": 0.0, "y": 0.5, "h": None},
+                  {"g": "a", "x": 1.0, "y": 0.6, "h": 0.1}),
+        )
+        (series,) = _series_by(table, "g", "x", "y", "h")
+        svg = line_chart([series])
+        _parse(svg)
+
+    def test_vlines_and_single_point(self):
+        svg = line_chart(
+            [Series("only", (0.5,), (0.25,))],
+            vlines=((0.1, "thr"),),
+        )
+        _parse(svg)
+        assert "thr" in svg
+
+    def test_empty_series_list_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Series("a", (0.0, 1.0), (0.5,))
+        with pytest.raises(ValueError):
+            Series("a", (0.0,), (0.5,), (0.1, 0.2))
+
+
+class TestBarChart:
+    def test_well_formed_grouped(self):
+        svg = bar_chart(
+            ["t1", "t2"], [("f1", [10.0, 20.0]), ("f2", [15.0, 5.0])],
+            title="B", ylabel="H",
+        )
+        _parse(svg)
+        assert svg.count("<rect") >= 5  # background + 4 bars
+
+    def test_mismatched_group_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [("g", [1.0, 2.0])])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestPaperFigureBuilders:
+    def test_registry_covers_at_least_four_figures(self):
+        assert len(PAPER_FIGURES) >= 4
+        ids = {eid for eid, _ in PAPER_FIGURES.values()}
+        assert {"e5", "e8", "e11"} <= ids
+
+    def test_builders_run_on_experiment_output(self, tmp_path):
+        # Tiny smoke-sized runs of the experiments each figure plots.
+        from repro.core.experiments import (
+            experiment_e5_random_disintegration,
+            experiment_e8_percolation_table,
+            experiment_e11_cutfinder_ablation,
+        )
+
+        tables = {
+            "e5": experiment_e5_random_disintegration(seed=0, n_trials=2),
+            "e8": experiment_e8_percolation_table(seed=0, n_trials=2, tol=0.1),
+            "e11": experiment_e11_cutfinder_ablation(seed=0, n_trials=1),
+        }
+        built = 0
+        for name, (eid, builder) in PAPER_FIGURES.items():
+            if eid not in tables:
+                continue
+            svg = builder(tables[eid])
+            _parse(svg)
+            written = save_figure(svg, tmp_path / f"{name}.svg")
+            assert f"{name}.svg" in written
+            assert (tmp_path / f"{name}.svg").read_text() == svg
+            built += 1
+        assert built >= 3

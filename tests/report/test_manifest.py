@@ -1,0 +1,133 @@
+"""Unit tests for manifest building and the CI-overlap diff."""
+
+import pytest
+
+from repro.report.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    write_manifest,
+)
+from repro.report.tables import ExperimentTable, StatColumn
+
+
+def _table(mean, half, *, n=8, checks=True):
+    return ExperimentTable(
+        experiment="e5",
+        title="demo",
+        rows=(
+            {"graph": "torus", "p": 0.1, "gamma_mean": mean,
+             "gamma_ci95": half, "trials": n, "ok": checks},
+        ),
+        key_columns=("graph", "p"),
+        stat_columns=(StatColumn("gamma_mean", "gamma_ci95", "trials"),),
+        check_columns=("ok",),
+        provenance=({"kind": "sweep", "hash": "h", "seed_policy": "scenario",
+                     "trials": n},),
+    )
+
+
+def _manifest(mean, half, *, seed=0, **kw):
+    return build_manifest(
+        {"e5": _table(mean, half, **kw)},
+        {"seed": seed, "scale": 1, "smoke": True, "experiments": ["e5"]},
+        figures={"disintegration": "<svg/>"},
+    )
+
+
+class TestBuildManifest:
+    def test_structure(self):
+        m = _manifest(0.5, 0.1)
+        assert m["schema"] == MANIFEST_SCHEMA
+        assert m["config"]["seed"] == 0
+        assert set(m["versions"]) == {"python", "numpy", "repro"}
+        e5 = m["experiments"]["e5"]
+        assert e5["rows"] == 1
+        assert e5["checks"] == {"passed": 1, "total": 1}
+        assert e5["provenance"][0]["hash"] == "h"
+        (stat,) = e5["stats"]
+        assert stat == {
+            "row": "graph=torus|p=0.1", "column": "gamma_mean",
+            "mean": 0.5, "halfwidth": 0.1, "n": 8,
+        }
+        assert m["figures"] == {
+            "disintegration": m["figures"]["disintegration"]}
+
+    def test_deterministic_and_wall_clock_free(self):
+        import json
+
+        a, b = _manifest(0.5, 0.1), _manifest(0.5, 0.1)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert "timing" not in json.dumps(a)
+
+    def test_round_trip_via_file(self, tmp_path):
+        m = _manifest(0.5, 0.1)
+        write_manifest(m, tmp_path / "manifest.json")
+        assert load_manifest(tmp_path / "manifest.json") == m
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        m = _manifest(0.5, 0.1)
+        m["schema"] = 999
+        write_manifest(m, tmp_path / "manifest.json")
+        with pytest.raises(ValueError):
+            load_manifest(tmp_path / "manifest.json")
+
+
+class TestDiff:
+    def test_identical_is_clean_and_silent(self):
+        d = diff_manifests(_manifest(0.5, 0.1), _manifest(0.5, 0.1))
+        assert d.clean and not d.informational
+
+    def test_overlapping_cis_are_informational(self):
+        d = diff_manifests(_manifest(0.5, 0.1), _manifest(0.55, 0.1, seed=3))
+        assert d.clean
+        infos = {(e.location, e.column) for e in d.informational}
+        assert ("config", "seed") in infos
+        assert ("graph=torus|p=0.1", "gamma_mean") in infos
+
+    def test_disjoint_cis_are_flagged(self):
+        d = diff_manifests(_manifest(0.5, 0.05), _manifest(0.9, 0.05))
+        assert not d.clean
+        (flag,) = d.flagged
+        assert flag.experiment == "e5"
+        assert flag.column == "gamma_mean"
+        assert "disjoint" in flag.detail
+        assert "FLAGGED" in d.to_text()
+
+    def test_touching_cis_overlap(self):
+        # gap == ha + hb exactly: still overlapping, never flagged
+        d = diff_manifests(_manifest(0.5, 0.1), _manifest(0.7, 0.1))
+        assert d.clean
+
+    def test_missing_halfwidth_never_flags(self):
+        d = diff_manifests(_manifest(0.5, None), _manifest(0.9, None))
+        assert d.clean
+        assert any("no CI" in e.detail for e in d.informational)
+
+    def test_missing_experiment_is_informational(self):
+        a = _manifest(0.5, 0.1)
+        b = _manifest(0.5, 0.1)
+        b["experiments"] = {}
+        d = diff_manifests(a, b)
+        assert d.clean
+        assert any(e.location == "experiments" for e in d.informational)
+
+    def test_check_regression_is_informational(self):
+        d = diff_manifests(_manifest(0.5, 0.1), _manifest(0.5, 0.1, checks=False))
+        assert d.clean
+        assert any(e.column == "checks" for e in d.informational)
+
+    def test_table_digest_change_is_informational(self):
+        a = _manifest(0.5, 0.1)
+        b = _manifest(0.5, 0.1)
+        b["experiments"]["e5"]["table_digest"] = "0000000000000000"
+        d = diff_manifests(a, b)
+        assert d.clean
+        assert any(e.column == "table_digest" for e in d.informational)
+
+    def test_to_dict_shape(self):
+        d = diff_manifests(_manifest(0.5, 0.05), _manifest(0.9, 0.05))
+        payload = d.to_dict()
+        assert payload["clean"] is False
+        assert len(payload["flagged"]) == 1
