@@ -104,13 +104,20 @@ def _store_path(args: argparse.Namespace) -> str | None:
     return DEFAULT_STORE if getattr(args, "resume", False) else None
 
 
-def _open_session(store: str | None, workers: int | None):
+def _batch_mode(args: argparse.Namespace):
+    """Map the ``--batch/--no-batch`` tri-state onto the session modes
+    (absent → ``"auto"``)."""
+    flag = getattr(args, "batch", None)
+    return "auto" if flag is None else flag
+
+
+def _open_session(store: str | None, workers: int | None, batch="auto"):
     """Build a Session, turning an unusable store path (existing file,
     permissions, ...) into the CLI's one-line-error contract."""
     from .api.session import Session
 
     try:
-        return Session(store=store, workers=workers), 0
+        return Session(store=store, workers=workers, batch=batch), 0
     except OSError as exc:
         print(f"cannot open store at {store}: {exc}", file=sys.stderr)
         return None, 2
@@ -193,6 +200,12 @@ def _cmd_sweep(argv: list[str]) -> int:
         "--resume", action="store_true",
         help=f"shorthand for --store {DEFAULT_STORE}",
     )
+    sub.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
+        help="force the batched (--batch) or scalar (--no-batch) trial "
+        "engine; default: auto — batch eligible multi-trial grid points. "
+        "Results are bit-identical either way",
+    )
     args = sub.parse_args(argv)
     from .api.sweeps import SweepSpec, run_sweep
 
@@ -264,7 +277,7 @@ def _cmd_sweep(argv: list[str]) -> int:
         return 0
 
     store = _store_path(args)
-    session, err = _open_session(store, args.workers)
+    session, err = _open_session(store, args.workers, _batch_mode(args))
     if session is None:
         return err
     t0 = time.perf_counter()
@@ -384,6 +397,12 @@ def _cmd_paper(argv: list[str]) -> int:
         "--refresh", action="store_true",
         help="ignore cached results/tables; recompute and rewrite the store",
     )
+    sub.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
+        help="force the batched (--batch) or scalar (--no-batch) trial "
+        "engine for the experiment sweeps; default: auto. Results — and "
+        "the manifest — are bit-identical either way",
+    )
     args = sub.parse_args(rest)
     from .report.paper import PaperConfig, run_paper
 
@@ -396,6 +415,7 @@ def _cmd_paper(argv: list[str]) -> int:
                 e.strip() for e in args.only.split(",") if e.strip()
             ) if args.only else (),
             workers=args.workers,
+            batch=_batch_mode(args),
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)

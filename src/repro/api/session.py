@@ -84,6 +84,12 @@ class Session:
     refresh:
         When true, ignore existing store entries (recompute everything) but
         still write results through — a forced cache rebuild.
+    batch:
+        Default execution strategy for homogeneous trial groups (the sweep
+        layer reads it): ``"auto"`` — batch eligible multi-trial groups
+        through :mod:`repro.batch` (results are bit-identical to scalar
+        execution, so this is on by default); ``True`` — batch every
+        eligible group, even singletons; ``False`` — always scalar.
 
     A storeless serial session is the cheapest way to execute specs
     programmatically; identical scenarios are deduplicated per session run
@@ -113,6 +119,7 @@ class Session:
         executor: Optional[Executor] = None,
         baseline_cache: Optional[Dict[BaselineKey, ExpansionEstimate]] = None,
         refresh: bool = False,
+        batch: Union[str, bool] = "auto",
     ) -> None:
         if store is None or isinstance(store, ResultStore):
             self.store = store
@@ -120,6 +127,11 @@ class Session:
             self.store = ResultStore(store)
         self.executor = executor if executor is not None else make_executor(workers)
         self.refresh = refresh
+        if not (batch is True or batch is False or batch == "auto"):
+            raise SpecError(
+                f"batch must be 'auto', True or False, got {batch!r}"
+            )
+        self.batch = batch
         self._baselines = baseline_cache if baseline_cache is not None else {}
         #: Scenarios served from the store / actually executed, cumulatively.
         self.hits = 0
@@ -246,6 +258,43 @@ class Session:
         while next_i in done:
             yield done.pop(next_i)
             next_i += 1
+
+    def run_trials_batched(self, specs: Iterable[ScenarioSpec]) -> List[RunResult]:
+        """Execute homogeneous trials through the batched engine.
+
+        ``specs`` must share one (graph, fault, analysis) and differ only in
+        seed/label — the shape of one sweep grid point.  Store semantics are
+        identical to :meth:`run_iter`: cached trials are served without
+        execution, the rest are evaluated as **one** mask-matrix batch
+        (:func:`repro.batch.engine.run_trials`) and appended to the store;
+        hit/miss counters advance exactly as the scalar path's would, and
+        the results (input order) are bit-identical to scalar execution.
+        """
+        from ..batch import engine as _batch_engine  # late: batch builds on api
+
+        spec_list = _validate_specs(specs)
+        if not spec_list:
+            return []
+        results: List[Optional[RunResult]] = []
+        missing: List[Tuple[int, ScenarioSpec]] = []
+        for i, spec in enumerate(spec_list):
+            cached = self.lookup(spec)
+            results.append(cached)
+            if cached is None:
+                missing.append((i, spec))
+        self.hits += len(spec_list) - len(missing)
+        self.misses += len(missing)
+        if missing:
+            missing_specs = [spec for _, spec in missing]
+            self._ensure_baselines(missing_specs)
+            baseline = self._baselines[baseline_key(missing_specs[0])]
+            for (i, _), result in zip(
+                missing,
+                _batch_engine.run_trials(missing_specs, baseline=baseline),
+            ):
+                self._record(result)
+                results[i] = result
+        return results  # type: ignore[return-value]  # every slot is filled
 
     # -- conveniences ---------------------------------------------------- #
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import SpecError
@@ -425,7 +425,13 @@ class ScenarioSpec:
         return cls.from_dict(d)
 
     def hash(self) -> str:
-        return spec_hash(self)
+        # Memoised (specs are frozen): every trial is hashed at least
+        # twice — engine packaging and store keying — at sweep scale.
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = spec_hash(self)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def with_seed(self, seed: Optional[int]) -> "ScenarioSpec":
         return replace(self, seed=seed)
@@ -477,10 +483,35 @@ class RunResult:
     timings: Dict[str, float] = field(default_factory=dict, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
-        d = asdict(self)
-        d["spec"] = self.spec.to_dict()
-        d["surviving_nodes"] = list(self.surviving_nodes)
-        return d
+        # Built field by field (declaration order) rather than through
+        # dataclasses.asdict: asdict deep-copies recursively, which at
+        # sweep scale made result serialisation — on the path of every
+        # fingerprint and store append — the dominant per-trial cost.
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "seed": self.seed,
+            "label": self.label,
+            "graph_name": self.graph_name,
+            "n_original": self.n_original,
+            "mode": self.mode,
+            "fault_kind": self.fault_kind,
+            "f": self.f,
+            "fault_fraction": self.fault_fraction,
+            "faulty_components": self.faulty_components,
+            "largest_faulty_component": self.largest_faulty_component,
+            "n_surviving": self.n_surviving,
+            "surviving_fraction": self.surviving_fraction,
+            "n_culled_sets": self.n_culled_sets,
+            "prune_iterations": self.prune_iterations,
+            "baseline_expansion": self.baseline_expansion,
+            "baseline_exact": self.baseline_exact,
+            "surviving_expansion": self.surviving_expansion,
+            "expansion_retention": self.expansion_retention,
+            "surviving_nodes": list(self.surviving_nodes),
+            "epsilon": self.epsilon,
+            "timings": dict(self.timings),
+        }
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "RunResult":
@@ -502,10 +533,20 @@ class RunResult:
 
     def fingerprint(self) -> str:
         """Content hash of everything *except* wall-clock timings —
-        identical ``(spec, seed)`` runs produce identical fingerprints."""
+        identical ``(spec, seed)`` runs produce identical fingerprints.
+
+        Memoised: the record is frozen and timings are excluded, so the
+        hash is a pure function of the content (the sweep layer and the
+        store both fingerprint every result).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
         d = self.to_dict()
         d.pop("timings", None)
-        return hashlib.sha256(canonical_json(d).encode()).hexdigest()[:16]
+        value = hashlib.sha256(canonical_json(d).encode()).hexdigest()[:16]
+        object.__setattr__(self, "_fingerprint", value)
+        return value
 
     def row(self) -> Dict[str, Any]:
         """Flat row-dict for :func:`repro.util.tables.format_row_dicts`."""

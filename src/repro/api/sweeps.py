@@ -21,6 +21,10 @@ This module makes that shape first-class:
   granularity for free) and are folded into online aggregators
   (:mod:`repro.util.stats`) the moment they complete, giving live
   per-point estimates and the CI widths the adaptive policies act on.
+  Grid points whose trials the batched engine supports (measure-only
+  analyses with vectorisable fault models) are evaluated as one
+  ``(T × n)`` mask-matrix batch via :mod:`repro.batch` — bit-identical
+  results, a fraction of the wall clock; see the ``batch`` parameter.
 
 Trial-seed derivation (the determinism contract):  the seed of trial ``t``
 at a grid point is derived from a :class:`numpy.random.SeedSequence` whose
@@ -918,6 +922,57 @@ def _round(x: float, nd: int = 4) -> Any:
 # --------------------------------------------------------------------- #
 
 
+def _execute_units(
+    sess: "Session",  # noqa: F821
+    units: List[Tuple[int, int]],
+    specs: List[ScenarioSpec],
+    batch_mode,
+) -> List[RunResult]:
+    """Run one allocation round's work units, choosing per point group
+    between the batched engine and the scalar executor path.
+
+    Units arrive grouped contiguously by point (that is how allocation
+    builds them), and all trials of one point share (graph, fault,
+    analysis) by construction — exactly the shape
+    :meth:`Session.run_trials_batched` requires.  Eligible groups go
+    through the batched engine; everything else is dispatched as one
+    scalar :meth:`Session.run_iter` call (so process fan-out still covers
+    the whole scalar remainder).  Results come back in unit order either
+    way, and are bit-identical across strategies, so aggregation and
+    fingerprints cannot observe the choice.
+    """
+    if batch_mode is False:
+        return list(sess.run_iter(specs))
+    from ..batch import engine as _batch_engine  # late: batch builds on api
+
+    out: List[Optional[RunResult]] = [None] * len(units)
+    scalar_positions: List[int] = []
+    start = 0
+    while start < len(units):
+        end = start
+        while end < len(units) and units[end][0] == units[start][0]:
+            end += 1
+        group = range(start, end)
+        eligible = _batch_engine.supports(specs[start]) and (
+            batch_mode is True or len(group) > 1
+        )
+        if eligible:
+            for pos, result in zip(
+                group, sess.run_trials_batched([specs[p] for p in group])
+            ):
+                out[pos] = result
+        else:
+            scalar_positions.extend(group)
+        start = end
+    if scalar_positions:
+        for pos, result in zip(
+            scalar_positions,
+            sess.run_iter([specs[p] for p in scalar_positions]),
+        ):
+            out[pos] = result
+    return out  # type: ignore[return-value]  # every slot is filled
+
+
 def run_sweep(
     sweep: SweepSpec,
     session: Optional["Session"] = None,  # noqa: F821 — late import below
@@ -925,6 +980,7 @@ def run_sweep(
     keep_results: bool = False,
     on_result: Optional[Callable[[int, int, RunResult], None]] = None,
     on_round: Optional[Callable[[int, int, int], None]] = None,
+    batch: Optional[Any] = None,
 ) -> SweepResult:
     """Execute a sweep through a session, aggregating results as they stream.
 
@@ -935,15 +991,32 @@ def run_sweep(
     trial granularity), and every completed result is folded into the
     per-point online aggregates *before* the next allocation decision.
 
+    ``batch`` selects the execution strategy for each grid point's trial
+    group (``None`` defers to ``session.batch``, default ``"auto"``): in
+    auto mode, multi-trial groups whose scenarios the batched engine
+    supports (:func:`repro.batch.engine.supports` — measure-only analyses
+    with vectorisable fault models) are evaluated as one ``(T × n)``
+    mask-matrix batch instead of T scalar engine calls.  The choice is
+    invisible in the results: per-trial records, store entries and the
+    sweep fingerprint are bit-identical either way (the differential suite
+    enforces this), so ``batch=False`` exists purely as an escape hatch /
+    bisection aid.
+
     ``on_result(point_index, trial_index, result)`` fires per completed
     trial; ``on_round(round_number, units_this_round, total_so_far)`` fires
     before each round executes.  Results are fed to the aggregators in
     deterministic (point, trial) order, so aggregate values — and the
-    allocation decisions derived from them — do not depend on worker count.
+    allocation decisions derived from them — do not depend on worker count
+    or execution strategy.
     """
     from .session import Session  # late: session builds on the engine
 
     sess = session if session is not None else Session()
+    batch_mode = batch if batch is not None else getattr(sess, "batch", "auto")
+    if not (batch_mode is True or batch_mode is False or batch_mode == "auto"):
+        raise SpecError(
+            f"batch must be 'auto', True, False or None, got {batch_mode!r}"
+        )
     points = sweep.points()
     aggs = [PointAggregate(sweep.metrics, sweep.policy.confidence) for _ in points]
     allocated = [0] * len(points)
@@ -965,7 +1038,9 @@ def run_sweep(
         if on_round is not None:
             on_round(rounds, len(units), total)
         specs = [sweep.trial_spec(points[i], t) for i, t in units]
-        for (i, t), result in zip(units, sess.run_iter(specs)):
+        for (i, t), result in zip(
+            units, _execute_units(sess, units, specs, batch_mode)
+        ):
             aggs[i].push(result)
             fingerprints[i].append(result.fingerprint())
             total += 1

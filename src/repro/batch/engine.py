@@ -1,0 +1,186 @@
+"""The batched trial engine: many ``(spec, seed)`` trials, one graph pass.
+
+:func:`run_trials` is the batched counterpart of
+:func:`repro.api.engine.run` for the *measure-only* analysis family
+(``pruner=None``, ``measure_expansion=False`` — the percolation-style
+scenarios behind γ curves and disintegration sweeps).  Instead of
+building one induced subgraph per trial and BFS-ing it, the whole trial
+set becomes a ``(T, n)`` alive-mask matrix evaluated by the mask-parallel
+kernels in :mod:`repro.graphs.traversal`.
+
+Equivalence contract: for every supported spec list,
+``run_trials(specs)[i] == repro.api.engine.run(specs[i])`` as
+:class:`~repro.api.specs.RunResult` records (equality and
+:meth:`~repro.api.specs.RunResult.fingerprint` both exclude wall-clock
+timings).  The contract is property-tested in
+``tests/batch/test_differential.py``; anything the contract cannot cover
+— unregistered fault models, pruning analyses, survivor expansion
+estimates — is rejected by :func:`supports` and stays on the scalar path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SpecError
+from ..expansion.estimate import ExpansionEstimate
+from ..graphs.graph import Graph
+from ..graphs.traversal import batched_component_stats, batched_connected_components
+from ..api.engine import baseline_expansion, default_epsilon, resolve_graph
+from ..api.registry import FAULT_MODELS
+from ..api.specs import RunResult, ScenarioSpec
+from .faults import MASK_SAMPLERS, batched_fault_masks
+
+__all__ = ["supports", "run_trials"]
+
+
+def supports(spec: ScenarioSpec) -> bool:
+    """Whether the batched engine can execute ``spec`` scalar-equivalently.
+
+    Three conditions, checked syntactically (no graph resolution):
+
+    * no pruner — the prune loop is adaptive per trial and not batchable;
+    * no survivor expansion estimate — sweep-cut/Fiedler estimates are
+      per-subgraph algorithms;
+    * the fault model (if any) has a registered mask sampler
+      (:data:`~repro.batch.faults.MASK_SAMPLERS`).
+    """
+    if not isinstance(spec, ScenarioSpec):
+        return False
+    if spec.analysis.pruner is not None or spec.analysis.measure_expansion:
+        return False
+    if spec.fault is None:
+        return True
+    return spec.fault.model in MASK_SAMPLERS
+
+
+def _check_homogeneous(specs: List[ScenarioSpec]) -> ScenarioSpec:
+    head = specs[0]
+    for spec in specs:
+        if not isinstance(spec, ScenarioSpec):
+            raise SpecError(
+                f"run_trials takes ScenarioSpecs, got {type(spec).__name__}"
+            )
+        if (
+            spec.graph != head.graph
+            or spec.fault != head.fault
+            or spec.analysis != head.analysis
+        ):
+            raise SpecError(
+                "run_trials needs trials sharing one (graph, fault, analysis) "
+                "— only seeds and labels may vary across the batch"
+            )
+    if not supports(head):
+        raise SpecError(
+            "scenario is not batchable (needs pruner=None, "
+            "measure_expansion=False and a mask-sampler fault model); "
+            "use the scalar engine"
+        )
+    return head
+
+
+def run_trials(
+    specs: List[ScenarioSpec],
+    *,
+    baseline: Optional[ExpansionEstimate] = None,
+    graph: Optional[Graph] = None,
+) -> List[RunResult]:
+    """Execute homogeneous trials as one batched evaluation.
+
+    ``specs`` must share graph/fault/analysis and differ only in ``seed``
+    (and ``label``); pass ``baseline`` (the shared fault-free expansion
+    estimate) and/or ``graph`` to skip re-resolving them — the session
+    layer supplies ``baseline`` from its cache and lets the (cheap,
+    once-per-point) graph resolution happen here.  Results come back in
+    input order.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    head = _check_homogeneous(specs)
+    analysis = head.analysis
+    timings = {"graph": 0.0, "baseline": 0.0, "fault": 0.0, "analyze": 0.0}
+
+    t0 = time.perf_counter()
+    if graph is None:
+        graph, _raw = resolve_graph(head.graph)
+    timings["graph"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if baseline is None:
+        baseline = baseline_expansion(
+            graph, analysis.mode, exact_threshold=analysis.exact_threshold
+        )
+    timings["baseline"] = time.perf_counter() - t0
+
+    epsilon = analysis.epsilon
+    if epsilon is None:
+        epsilon = default_epsilon(graph, analysis.mode)
+
+    t0 = time.perf_counter()
+    n = graph.n
+    T = len(specs)
+    if head.fault is None:
+        fault_masks = np.zeros((T, n), dtype=bool)
+        kind = "none"
+    else:
+        entry = FAULT_MODELS.get(head.fault.model)
+        params = head.fault.params
+        if entry.seeded and "seed" not in params:
+            seeds: List[Any] = [spec.seed for spec in specs]
+        else:
+            # the model pins its own seed (or takes none): every trial
+            # replays the same draw, exactly like T scalar engine calls
+            seeds = [params.get("seed")] * T
+        fault_masks, kind = batched_fault_masks(
+            graph, head.fault.model, params, seeds
+        )
+    alive = ~fault_masks
+    timings["fault"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    labels = batched_connected_components(graph, alive)
+    n_components, largest = batched_component_stats(labels)
+    n_alive = alive.sum(axis=1, dtype=np.int64)
+    timings["analyze"] = time.perf_counter() - t0
+
+    # amortise the shared wall-clock across the records (provenance only —
+    # timings are excluded from fingerprints and equality)
+    shared = {k: v / T for k, v in timings.items()}
+    results: List[RunResult] = []
+    baseline_value = float(baseline.value)
+    baseline_exact = bool(baseline.exact)
+    for i, spec in enumerate(specs):
+        f = int(n - n_alive[i])
+        surviving = graph.original_ids[alive[i]]
+        results.append(
+            RunResult(
+                spec=spec,
+                spec_hash=spec.hash(),
+                seed=spec.seed,
+                label=spec.label,
+                graph_name=graph.name,
+                n_original=n,
+                mode=analysis.mode,
+                fault_kind=kind,
+                f=f,
+                fault_fraction=float(f / n if n else 0.0),
+                faulty_components=int(n_components[i]),
+                largest_faulty_component=int(largest[i]),
+                n_surviving=int(n_alive[i]),
+                surviving_fraction=float(n_alive[i] / n if n else 0.0),
+                n_culled_sets=0,
+                prune_iterations=0,
+                baseline_expansion=baseline_value,
+                baseline_exact=baseline_exact,
+                surviving_expansion=None,
+                expansion_retention=None,
+                surviving_nodes=tuple(surviving.tolist()),
+                epsilon=float(epsilon),
+                timings=dict(shared),
+            )
+        )
+    return results

@@ -1,0 +1,105 @@
+"""Vectorised fault injection: per-trial fault masks without subgraphs.
+
+The scalar engine materialises one induced subgraph per trial just to count
+components on it.  The batched engine skips that entirely: a *mask sampler*
+reproduces a fault model's node-fault draws for ``T`` seeds as one
+``(T, n)`` boolean matrix, and the mask-parallel traversal kernels consume
+the matrix directly.
+
+Bit-identical by construction: each trial's row is drawn from the *same*
+:class:`numpy.random.Generator` stream the scalar model would have used for
+that ``(spec, seed)`` pair — the per-trial draw loop is kept (independent
+streams cannot be fused), but it is a loop of single vectorised
+``rng.random(n)`` calls, which is a negligible slice of a trial's scalar
+cost.  The expensive parts — subgraph construction and component
+traversal — are what the mask matrix eliminates.
+
+Only fault models registered here are batchable
+(:data:`MASK_SAMPLERS`); :func:`repro.batch.engine.supports` falls back to
+the scalar path for everything else.  Third-party vectorisable models plug
+in with :func:`register_mask_sampler`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SpecError
+from ..graphs.graph import Graph
+from ..util.rng import SeedLike
+
+__all__ = ["MASK_SAMPLERS", "register_mask_sampler", "batched_fault_masks"]
+
+#: ``fn(graph, params, seeds) -> (fault_masks, kind)`` where ``fault_masks``
+#: is a ``(len(seeds), n)`` boolean matrix (True = the node failed) and
+#: ``kind`` is the provenance tag the scalar model would stamp on its
+#: :class:`~repro.faults.model.FaultScenario`.
+MaskSampler = Callable[[Graph, Dict, Sequence[SeedLike]], tuple]
+
+MASK_SAMPLERS: Dict[str, MaskSampler] = {}
+
+
+def register_mask_sampler(name: str):
+    """Register the batched mask sampler of a fault model (decorator).
+
+    The sampler must replay the scalar model's RNG consumption exactly:
+    same stream per seed, same draw order, same post-processing — that is
+    what makes the batched engine's results substitutable for scalar ones.
+    """
+
+    def _add(fn: MaskSampler) -> MaskSampler:
+        MASK_SAMPLERS[name] = fn
+        return fn
+
+    return _add
+
+
+@register_mask_sampler("random_node")
+def _random_node_masks(
+    graph: Graph, params: Dict, seeds: Sequence[SeedLike]
+) -> tuple:
+    """Batched twin of :func:`repro.faults.random_faults.random_node_faults`.
+
+    Row ``i`` *is* ``sample_fault_mask(n, p, seeds[i], protected=...)`` —
+    the scalar model's own draw helper, called once per seed — so
+    equivalence holds by construction, not by a parallel implementation
+    that could drift.
+    """
+    from ..faults.random_faults import sample_fault_mask
+
+    if "p" not in params:
+        raise SpecError("fault model 'random_node': missing required param 'p'")
+    p = params["p"]
+    protected: Optional[Sequence[int]] = params.get("protected")
+    masks = np.empty((len(seeds), graph.n), dtype=bool)
+    for i, seed in enumerate(seeds):
+        masks[i] = sample_fault_mask(graph.n, p, seed, protected=protected)
+    return masks, f"random(p={p:g})"
+
+
+def batched_fault_masks(
+    graph: Graph, model: str, params: Dict, seeds: Sequence[SeedLike]
+) -> tuple:
+    """Fault masks for ``T`` trials of one fault model: ``(masks, kind)``.
+
+    ``masks`` is ``(len(seeds), n)`` boolean, True = failed.  Raises
+    :class:`~repro.errors.SpecError` for models without a registered
+    sampler — callers gate on :data:`MASK_SAMPLERS` membership first
+    (that is what :func:`repro.batch.engine.supports` does).
+    """
+    sampler = MASK_SAMPLERS.get(model)
+    if sampler is None:
+        raise SpecError(
+            f"fault model {model!r} has no batched mask sampler; "
+            f"batchable models: {sorted(MASK_SAMPLERS)}"
+        )
+    masks, kind = sampler(graph, dict(params), seeds)
+    masks = np.asarray(masks)
+    if masks.shape != (len(seeds), graph.n) or masks.dtype != np.bool_:
+        raise SpecError(
+            f"mask sampler for {model!r} returned shape {masks.shape} "
+            f"dtype {masks.dtype}; expected boolean ({len(seeds)}, {graph.n})"
+        )
+    return masks, kind

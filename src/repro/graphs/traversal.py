@@ -11,7 +11,7 @@ mesh-like graphs used throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,12 @@ __all__ = [
     "pairwise_distupdate",
     "ComponentSummary",
     "component_summary",
+    "batched_connected_components",
+    "batched_component_stats",
+    "batched_largest_component_fraction",
+    "batched_bfs_distances",
+    "batched_boundary_masks",
+    "batched_boundary_sizes",
 ]
 
 UNREACHED = np.int64(-1)
@@ -254,3 +260,316 @@ def component_summary(graph: Graph) -> ComponentSummary:
         largest_fraction=float(sizes[0] / graph.n),
         sizes=sizes,
     )
+
+
+# --------------------------------------------------------------------- #
+# Mask-parallel (batched) variants
+# --------------------------------------------------------------------- #
+#
+# The functions below evaluate T independent fault trials on ONE shared
+# graph simultaneously.  A trial is a row of a ``(T, n)`` boolean
+# ``alive`` matrix (True = the node survived this trial); bond-style
+# trials use a ``(T, m)`` ``edge_alive`` matrix over ``edge_array()``
+# order instead.  All per-trial loops are replaced by whole-matrix numpy
+# passes over the CSR arrays, so the Python-interpreter cost is O(rounds)
+# instead of O(trials × components × levels).
+#
+# Degenerate inputs are *defined*, never raised: T = 0 and n = 0 return
+# correctly-shaped empty results, and a fully-dead row yields zero
+# components / an all ``-1`` distance row — the batched engine relies on
+# this when a trial happens to kill every node.
+
+
+def _check_alive_matrix(graph: Graph, alive: np.ndarray) -> np.ndarray:
+    alive = np.asarray(alive)
+    if alive.dtype != np.bool_:
+        raise InvalidParameterError("alive mask matrix must be boolean")
+    if alive.ndim != 2 or alive.shape[1] != graph.n:
+        raise InvalidParameterError(
+            f"alive mask must have shape (T, {graph.n}), got {alive.shape}"
+        )
+    return alive
+
+
+def _directed_slot_pairs(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR slot indices of each undirected edge's two directed copies.
+
+    Returns ``(fwd, rev)`` of length ``m`` where ``fwd[k]``/``rev[k]`` are
+    the flat CSR positions of edge ``k`` (in :meth:`Graph.edge_array`
+    order) as ``u→v`` and ``v→u`` respectively.
+    """
+    n = graph.n
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+    fwd = np.flatnonzero(src < graph.indices)
+    # CSR order sorts directed edges by (src, dst), so the key array is
+    # ascending and the reverse copy is found by binary search.
+    key = src * np.int64(max(n, 1)) + graph.indices
+    rev = np.searchsorted(key, graph.indices[fwd] * np.int64(max(n, 1)) + src[fwd])
+    return fwd, rev
+
+
+def batched_connected_components(
+    graph: Graph,
+    alive: Optional[np.ndarray] = None,
+    *,
+    edge_alive: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Connected-component labels for ``T`` masked trials at once.
+
+    Parameters
+    ----------
+    alive:
+        ``(T, n)`` boolean node-survival matrix (site/fault trials).  May
+        be omitted when ``edge_alive`` is given (all nodes alive).
+    edge_alive:
+        Optional ``(T, m)`` boolean edge-survival matrix in
+        :meth:`Graph.edge_array` order (bond trials).  Composable with
+        ``alive``: an edge conducts only if it survived *and* both its
+        endpoints are alive.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(T, n)`` int64 labels: for each alive node the smallest alive
+        node id reachable from it (so labels are canonical per component);
+        dead nodes get ``-1``.  ``T = 0`` / ``n = 0`` produce empty
+        results of the right shape.
+
+    Implementation: Shiloach–Vishkin-style label propagation.  Each round
+    (1) takes the minimum label over every surviving edge via one
+    ``(T, 2m)`` gather + ``minimum.reduceat``, (2) *hooks the roots* — a
+    node that just learned a smaller label scatters it onto its old root,
+    so whole clusters merge per round instead of single hops — and
+    (3) pointer-jumps ``label ← label[label]`` to a fixpoint, which
+    compresses chains exponentially.  Convergence is O(log n)-ish rounds
+    (measured: 4–6 on near-critical percolation masks whose plain
+    hash-min needs ~diameter rounds), every round a handful of
+    whole-matrix numpy ops regardless of T.
+    """
+    if alive is None:
+        if edge_alive is None:
+            raise InvalidParameterError(
+                "batched_connected_components needs 'alive' and/or 'edge_alive'"
+            )
+        edge_alive = np.asarray(edge_alive)
+        alive = np.ones((edge_alive.shape[0], graph.n), dtype=bool)
+    alive = _check_alive_matrix(graph, alive)
+    n = graph.n
+    T = alive.shape[0]
+    sent = np.int64(n)  # sentinel label: "no alive node"
+    keep = None
+    if edge_alive is not None:
+        edge_alive = np.asarray(edge_alive)
+        if edge_alive.dtype != np.bool_:
+            raise InvalidParameterError("edge_alive matrix must be boolean")
+        if edge_alive.ndim != 2 or edge_alive.shape != (T, graph.m):
+            raise InvalidParameterError(
+                f"edge_alive must have shape ({T}, {graph.m}), "
+                f"got {edge_alive.shape}"
+            )
+        if graph.m:
+            fwd, rev = _directed_slot_pairs(graph)
+            keep = np.empty((T, graph.indices.shape[0]), dtype=bool)
+            keep[:, fwd] = edge_alive
+            keep[:, rev] = edge_alive
+    if T == 0 or n == 0 or graph.indices.size == 0:
+        labels = np.where(alive, np.arange(n, dtype=np.int64)[None, :], np.int64(n))
+        return np.where(alive, labels, np.int64(-1))
+    # labels are node ids < n, so a compact dtype halves the memory
+    # traffic of the per-round gathers (the hot cost at sweep scale)
+    dtype = np.int32 if n + 1 <= np.iinfo(np.int32).max else np.int64
+    sent = dtype(n)
+    labels = np.where(alive, np.arange(n, dtype=dtype)[None, :], sent)
+    # reduceat needs every segment start in range, and a degree-0 node's
+    # empty segment would otherwise swallow part of its neighbour's.  One
+    # identity column appended to the gather keeps the starts untouched;
+    # whatever reduceat reports for empty segments is overwritten below.
+    starts = graph.indptr[:-1]
+    isolated = graph.degrees == 0
+    m2 = graph.indices.shape[0]
+    rows = np.arange(T)[:, None]
+    padded = np.empty((T, n + 1), dtype=dtype)
+    gathered = np.empty((T, m2 + 1), dtype=dtype)
+    gathered[:, m2] = sent
+    while True:
+        padded[:, :n] = labels
+        padded[:, n] = sent
+        gathered[:, :m2] = padded[:, graph.indices]  # neighbour labels
+        if keep is not None:
+            gathered[:, :m2][~keep] = sent
+        nbr_min = np.minimum.reduceat(gathered, starts, axis=1)
+        if isolated.any():
+            nbr_min[:, isolated] = sent
+        new = np.minimum(labels, nbr_min)
+        new = np.where(alive, new, sent)
+        # hook the roots: a node that just learned a smaller label scatters
+        # it onto its *old* root, so the whole old cluster can follow in
+        # this round's jumps instead of one hop per round
+        updated = new != labels
+        if updated.any():
+            t_idx, v_idx = np.nonzero(updated)
+            old_roots = labels[t_idx, v_idx].astype(np.int64)
+            flat = t_idx * np.int64(n + 1) + old_roots
+            padded[:, :n] = new
+            padded[:, n] = sent
+            np.minimum.at(padded.ravel(), flat, new[t_idx, v_idx])
+            new = np.where(alive, padded[:, :n], sent)
+        # pointer jump to a fixpoint: each pass composes the label map with
+        # itself, so chains shorten geometrically
+        while True:
+            padded[:, :n] = new
+            padded[:, n] = sent
+            jumped = np.where(alive, padded[rows, new], sent)
+            if np.array_equal(jumped, new):
+                break
+            new = jumped
+        if np.array_equal(new, labels):
+            break
+        labels = new
+    return np.where(alive, labels.astype(np.int64), np.int64(-1))
+
+
+def batched_component_stats(labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-trial ``(n_components, largest_size)`` from batched labels.
+
+    ``labels`` is the ``(T, n)`` output of
+    :func:`batched_connected_components` (``-1`` = dead).  Both returned
+    arrays have shape ``(T,)``; an all-dead (or ``n = 0``) row reports
+    ``0`` components of size ``0``.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise InvalidParameterError("labels must be a (T, n) matrix")
+    T, n = labels.shape
+    if T == 0 or n == 0:
+        zeros = np.zeros(T, dtype=np.int64)
+        return zeros, zeros.copy()
+    alive = labels >= 0
+    n_components = (alive & (labels == np.arange(n, dtype=np.int64))).sum(
+        axis=1, dtype=np.int64
+    )
+    # one shared bincount: offset each row's labels into its own bin range
+    offsets = np.arange(T, dtype=np.int64)[:, None] * np.int64(n)
+    flat = (labels + offsets)[alive]
+    counts = np.bincount(flat, minlength=T * n).reshape(T, n)
+    return n_components, counts.max(axis=1).astype(np.int64)
+
+
+def batched_largest_component_fraction(
+    graph: Graph,
+    alive: np.ndarray,
+    *,
+    edge_alive: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``γ`` per trial: largest alive-component size over the *original*
+    node count (the paper's §1.1 normalisation), as a ``(T,)`` float array.
+
+    Defined for every degenerate input: ``n = 0`` and all-dead rows give
+    ``0.0``, a row whose survivors are all isolated gives ``1/n``.
+    """
+    alive = _check_alive_matrix(graph, alive)
+    if graph.n == 0:
+        return np.zeros(alive.shape[0], dtype=np.float64)
+    labels = batched_connected_components(graph, alive, edge_alive=edge_alive)
+    _, largest = batched_component_stats(labels)
+    return largest / float(graph.n)
+
+
+def batched_bfs_distances(
+    graph: Graph,
+    sources: np.ndarray,
+    alive: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Multi-source BFS distances for ``T`` masked trials at once.
+
+    ``sources`` is a ``(T, n)`` boolean matrix of distance-0 seeds (each
+    row its own trial); ``alive`` optionally masks each trial to the
+    surviving nodes (dead nodes neither relay nor receive distances).
+    Returns ``(T, n)`` int64 distances with ``-1`` for unreachable or
+    dead nodes.  Unlike the scalar :func:`bfs_distances`, a row with no
+    (alive) sources is defined — it simply stays all ``-1``.
+    """
+    sources = np.asarray(sources)
+    if sources.dtype != np.bool_ or sources.ndim != 2 or sources.shape[1] != graph.n:
+        raise InvalidParameterError(
+            f"sources must be a boolean (T, {graph.n}) matrix, got "
+            f"{sources.shape if sources.ndim == 2 else sources.dtype}"
+        )
+    if alive is None:
+        alive = np.ones_like(sources)
+    else:
+        alive = _check_alive_matrix(graph, alive)
+        if alive.shape[0] != sources.shape[0]:
+            raise InvalidParameterError(
+                "sources and alive must agree on the trial count"
+            )
+    T, n = sources.shape
+    dist = np.full((T, n), UNREACHED, dtype=np.int64)
+    frontier = sources & alive
+    dist[frontier] = 0
+    if T == 0 or n == 0 or graph.indices.size == 0 or not frontier.any():
+        return dist
+    starts = graph.indptr[:-1]
+    isolated = graph.degrees == 0
+    m2 = graph.indices.shape[0]
+    gathered = np.zeros((T, m2 + 1), dtype=bool)  # identity column at m2
+    level = 0
+    while True:
+        level += 1
+        gathered[:, :m2] = frontier[:, graph.indices]  # neighbour-in-frontier
+        reached = np.logical_or.reduceat(gathered, starts, axis=1)
+        if isolated.any():
+            reached[:, isolated] = False
+        fresh = reached & alive & (dist == UNREACHED)
+        if not fresh.any():
+            break
+        dist[fresh] = level
+        frontier = fresh
+    return dist
+
+
+def batched_boundary_masks(
+    graph: Graph,
+    masks: np.ndarray,
+    alive: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Node boundaries ``Γ(S)`` for ``T`` sets at once (one gather).
+
+    ``masks`` holds one candidate set ``S`` per row; the result row marks
+    the alive nodes *outside* ``S`` with at least one neighbour in
+    ``S ∩ alive``.  This is the batched form of the scalar boundary
+    gather behind ``node_expansion_of_set``.
+    """
+    masks = _check_alive_matrix(graph, masks)
+    if alive is not None:
+        alive = _check_alive_matrix(graph, alive)
+        if alive.shape != masks.shape:
+            raise InvalidParameterError("masks and alive must have equal shapes")
+        inside = masks & alive
+    else:
+        inside = masks
+    T, n = masks.shape
+    if T == 0 or n == 0 or graph.indices.size == 0:
+        return np.zeros((T, n), dtype=bool)
+    starts = graph.indptr[:-1]
+    isolated = graph.degrees == 0
+    m2 = graph.indices.shape[0]
+    gathered = np.zeros((T, m2 + 1), dtype=bool)  # identity column at m2
+    gathered[:, :m2] = inside[:, graph.indices]
+    reached = np.logical_or.reduceat(gathered, starts, axis=1)
+    if isolated.any():
+        reached[:, isolated] = False
+    boundary = reached & ~inside
+    if alive is not None:
+        boundary &= alive
+    return boundary
+
+
+def batched_boundary_sizes(
+    graph: Graph,
+    masks: np.ndarray,
+    alive: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``|Γ(S)|`` per trial — the counting form of
+    :func:`batched_boundary_masks`, shape ``(T,)``."""
+    return batched_boundary_masks(graph, masks, alive).sum(axis=1, dtype=np.int64)

@@ -55,16 +55,20 @@ class BondPercolationResult:
 
 
 def bond_percolation(
-    graph: Graph, q: float, *, n_trials: int = 20, seed: SeedLike = None
+    graph: Graph, q: float, *, n_trials: int = 20, seed: SeedLike = None,
+    batch: bool = True,
 ) -> BondPercolationResult:
     """Monte-Carlo γ estimate for bond percolation at edge-survival prob ``q``.
 
-    Each trial is one vectorised Bernoulli edge mask over its own spawned
-    stream, and the aggregate is accumulated online
-    (:class:`~repro.util.stats.OnlineStats`) as each trial's union-find
-    completes — the same streaming pattern the sweep layer uses for
-    scenario results, with peak memory of one mask row regardless of
-    ``n_trials``.
+    ``batch=True`` (default) stacks all trials' Bernoulli edge masks into
+    one ``(trials × m)`` matrix and labels every trial's components in one
+    mask-parallel pass
+    (:func:`repro.graphs.traversal.batched_connected_components` with
+    ``edge_alive``); ``batch=False`` keeps the historical per-trial
+    union-find loop.  Samples are bit-identical across the two — same
+    spawned stream and same γ per trial — which the differential suite
+    asserts.  Aggregates accumulate online
+    (:class:`~repro.util.stats.OnlineStats`) in trial order either way.
     """
     q = check_probability(q, "q")
     n_trials = check_positive_int(n_trials, "n_trials")
@@ -79,6 +83,24 @@ def bond_percolation(
         )
     samples = np.empty(n_trials, dtype=np.float64)
     stats = OnlineStats()
+    if batch:
+        from ..batch.metrics import batched_gamma
+
+        keep = np.empty((n_trials, m), dtype=bool)
+        for i in range(n_trials):
+            # same stream, same draw as the scalar trial for this seed
+            keep[i] = rngs[i].random(m) < q
+        alive = np.ones((n_trials, n), dtype=bool)
+        samples[:] = batched_gamma(graph, alive, edge_alive=keep)
+        for value in samples:
+            stats.push(float(value))
+        return BondPercolationResult(
+            q=q,
+            gamma_mean=stats.mean,
+            gamma_std=stats.std if n_trials > 1 else 0.0,
+            n_trials=n_trials,
+            samples=samples,
+        )
     for i in range(n_trials):
         uf = UnionFind(n)
         if m:

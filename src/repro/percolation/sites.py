@@ -7,9 +7,15 @@ fault experiments convert).  The estimator of interest is
 ``γ(G^{(q)})`` — the expected fraction of (original) nodes in the largest
 surviving component (paper §1.1).
 
-Implementation: one Bernoulli mask per trial, union-find over the surviving
-edges (both endpoints alive).  Edge filtering is vectorised; the union loop
-is the O(m) sequential part.
+Implementation: the batched default stacks all trials' Bernoulli masks
+into one ``(trials × n)`` alive matrix and hands it to the mask-parallel
+component kernel (:func:`repro.graphs.traversal.batched_connected_components`)
+— one label-propagation pass for the whole trial set, no per-trial
+union-find.  The scalar path (``batch=False``, and
+:func:`site_percolation_trial` which the differential tests compare
+against) keeps the historical one-mask-per-trial union-find; both produce
+bit-identical samples because every trial draws from the same spawned RNG
+stream either way.
 """
 
 from __future__ import annotations
@@ -71,9 +77,17 @@ def site_percolation_trial(graph: Graph, q: float, seed: SeedLike = None) -> flo
 
 
 def site_percolation(
-    graph: Graph, q: float, *, n_trials: int = 20, seed: SeedLike = None
+    graph: Graph, q: float, *, n_trials: int = 20, seed: SeedLike = None,
+    batch: bool = True,
 ) -> SitePercolationResult:
-    """Monte-Carlo γ estimate at survival probability ``q``."""
+    """Monte-Carlo γ estimate at survival probability ``q``.
+
+    ``batch=True`` (default) evaluates all trials through the batched
+    component kernel; ``batch=False`` is the scalar per-trial loop.  The
+    two are sample-for-sample identical (the per-trial RNG streams and the
+    γ definition are shared), asserted by the differential suite — the
+    switch exists as a bisection aid, not a semantic choice.
+    """
     q = check_probability(q, "q")
     n_trials = check_positive_int(n_trials, "n_trials")
     rngs = spawn(seed, n_trials)
@@ -81,9 +95,21 @@ def site_percolation(
     # the samples array is kept for callers that post-process trials.
     samples = np.empty(n_trials, dtype=np.float64)
     stats = OnlineStats()
-    for i in range(n_trials):
-        samples[i] = site_percolation_trial(graph, q, rngs[i])
-        stats.push(samples[i])
+    if batch:
+        from ..batch.metrics import batched_gamma
+
+        n = graph.n
+        alive = np.empty((n_trials, n), dtype=bool)
+        for i in range(n_trials):
+            # same stream, same draw as the scalar trial for this seed
+            alive[i] = as_generator(rngs[i]).random(n) < q
+        samples[:] = batched_gamma(graph, alive)
+        for value in samples:
+            stats.push(float(value))
+    else:
+        for i in range(n_trials):
+            samples[i] = site_percolation_trial(graph, q, rngs[i])
+            stats.push(samples[i])
     return SitePercolationResult(
         q=q,
         gamma_mean=stats.mean,

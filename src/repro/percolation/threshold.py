@@ -57,6 +57,7 @@ def estimate_critical_probability(
     seed: SeedLike = None,
     q_lo: float = 0.0,
     q_hi: float = 1.0,
+    batch: bool = True,
 ) -> ThresholdEstimate:
     """Bisect for the survival probability where ``E[γ]`` crosses the target.
 
@@ -75,6 +76,11 @@ def estimate_critical_probability(
     q_lo, q_hi:
         Initial bracket; must satisfy γ(q_lo) < target ≤ γ(q_hi) — with the
         defaults this always holds for connected graphs since γ(1) = 1.
+    batch:
+        Execution strategy for each probe's trials (batched mask-parallel
+        kernels vs scalar union-find) — bit-identical brackets either way;
+        ``False`` is the bisection escape hatch the experiment layer
+        threads through from ``--no-batch``.
     """
     gamma_target = check_fraction(gamma_target, "gamma_target")
     n_trials = check_positive_int(n_trials, "n_trials")
@@ -82,8 +88,12 @@ def estimate_critical_probability(
 
     def gamma(q: float) -> float:
         if mode == "site":
-            return site_percolation(graph, q, n_trials=n_trials, seed=rng).gamma_mean
-        return bond_percolation(graph, q, n_trials=n_trials, seed=rng).gamma_mean
+            return site_percolation(
+                graph, q, n_trials=n_trials, seed=rng, batch=batch
+            ).gamma_mean
+        return bond_percolation(
+            graph, q, n_trials=n_trials, seed=rng, batch=batch
+        ).gamma_mean
 
     lo, hi = float(q_lo), float(q_hi)
     probes = 0

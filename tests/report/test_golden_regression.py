@@ -1,0 +1,101 @@
+"""Golden regression: ``paper run --smoke`` must reproduce committed tables.
+
+``tests/golden/paper-smoke-seed0.tables.jsonl`` holds one JSON-encoded
+:class:`~repro.report.tables.ExperimentTable` per line — the e1–e11 output
+of ``PaperConfig(seed=0, scale=1, smoke=True)`` at the time the fixture
+was committed.  The test re-runs the same configuration and compares via
+:func:`~repro.report.manifest.diff_manifests`, the same CI-overlap rule
+``paper diff`` uses: a drift is **flagged** only when an estimate moved
+outside its own confidence interval, so hot-path rewrites (batched
+engines, kernel swaps, executor changes) cannot silently shift results,
+while honest wall-clock columns stay informational.
+
+Regenerate the fixture only for *intentional* result changes (new
+experiment defaults, seed-derivation changes, …)::
+
+    PYTHONPATH=src python - <<'PY'
+    import json, pathlib, tempfile
+    from repro.report.paper import PaperConfig, run_paper
+    with tempfile.TemporaryDirectory() as d:
+        run = run_paper(PaperConfig(seed=0, scale=1, smoke=True),
+                        pathlib.Path(d) / "art")
+        pathlib.Path("tests/golden/paper-smoke-seed0.tables.jsonl").write_text(
+            "\n".join(json.dumps(run.tables[e].to_dict(), sort_keys=True,
+                                 separators=(",", ":"))
+                      for e in sorted(run.tables)) + "\n")
+    PY
+
+and say why in the commit message — the diff of the fixture *is* the
+review surface for the numeric change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.report.manifest import build_manifest, diff_manifests
+from repro.report.paper import PaperConfig, run_paper
+from repro.report.tables import ExperimentTable
+
+pytestmark = pytest.mark.golden
+
+FIXTURE = Path(__file__).resolve().parents[1] / "golden" / (
+    "paper-smoke-seed0.tables.jsonl"
+)
+
+
+def _golden_tables():
+    tables = {}
+    for line in FIXTURE.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        table = ExperimentTable.from_dict(json.loads(line))
+        tables[table.experiment] = table
+    return tables
+
+
+def test_fixture_covers_the_full_suite():
+    assert sorted(_golden_tables()) == sorted(
+        f"e{i}" for i in range(1, 12)
+    ), "golden fixture must hold one table per experiment e1–e11"
+
+
+@pytest.fixture(scope="module")
+def smoke_run(tmp_path_factory):
+    """One shared fresh --smoke run (the expensive part of this module)."""
+    out = tmp_path_factory.mktemp("golden-smoke") / "artifact"
+    config = PaperConfig(seed=0, scale=1, smoke=True)
+    return config, run_paper(config, out)
+
+
+def test_paper_smoke_reproduces_golden_tables(smoke_run):
+    config, run = smoke_run
+    golden = _golden_tables()
+    assert sorted(run.tables) == sorted(golden)
+    golden_manifest = build_manifest(golden, config.manifest_config())
+    diff = diff_manifests(golden_manifest, run.manifest)
+    assert diff.clean, (
+        "paper --smoke drifted outside its confidence intervals vs the "
+        "committed golden tables:\n" + diff.to_text()
+    )
+
+
+def test_paper_smoke_row_keys_and_checks_match_golden(smoke_run):
+    """Beyond CI overlap: row identities and pass/fail check columns must
+    match the fixture exactly (a flipped theorem check is a regression even
+    when no stat column moved)."""
+    _config, run = smoke_run
+    for eid, golden_table in _golden_tables().items():
+        fresh = run.tables[eid]
+        assert [golden_table.row_key(r) for r in golden_table] == [
+            fresh.row_key(r) for r in fresh
+        ], f"{eid}: row identities changed"
+        for g_row, f_row in zip(golden_table, fresh):
+            for column in golden_table.check_columns:
+                assert g_row.get(column) == f_row.get(column), (
+                    f"{eid}: check column {column!r} flipped for row "
+                    f"{golden_table.row_key(g_row)}"
+                )
