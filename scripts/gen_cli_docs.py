@@ -44,7 +44,20 @@ SECTIONS = [
         "`sweep` — declarative grids",
         ["sweep", "--help"],
         "Plan, execute or inspect a `SweepSpec` grid (trial-level caching "
-        "and adaptive sampling policies).",
+        "and adaptive sampling policies). With `--server URL` the "
+        "`submit`/`status`/`watch` verbs talk to a running sweep service "
+        "instead of executing locally — results are bit-identical either "
+        "way.",
+    ),
+    (
+        "`serve` — the sweep service",
+        ["serve", "--help"],
+        "Run the long-running sweep service: an HTTP server "
+        "(`/sweeps`, `/healthz`, `/metrics`) scheduling submitted sweeps "
+        "over a pool of worker processes that share one result store. "
+        "Identical concurrent submissions are deduplicated into one "
+        "computation and warm grid points are served from the store. "
+        "SIGTERM drains gracefully.",
     ),
     (
         "`paper run` — the reproduction artifact",

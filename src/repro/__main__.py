@@ -11,6 +11,10 @@ Usage::
     python -m repro sweep plan grid.json
     python -m repro sweep run grid.json --store sweep-cache --workers 8
     python -m repro sweep status grid.json --store sweep-cache
+    python -m repro serve --store sweep-cache --workers 4 --port 8750
+    python -m repro sweep submit grid.json --server http://127.0.0.1:8750
+    python -m repro sweep watch  grid.json --server http://127.0.0.1:8750
+    python -m repro sweep status sw0-ab12cd34 --server http://127.0.0.1:8750
     python -m repro paper run --out paper-artifact [--smoke]
     python -m repro paper render paper-artifact
     python -m repro paper diff run-a run-b
@@ -35,6 +39,14 @@ prints the expansion without running anything; ``sweep run`` executes it —
 trial by trial, streaming aggregates, honouring adaptive policies — and
 ``sweep status`` reports how much of the grid a store already holds (the
 resume frontier).
+
+``serve`` starts the long-running sweep service (:mod:`repro.service`): an
+HTTP server with a distributed worker pool over a shared result store.
+Clients submit SweepSpecs with ``sweep submit --server URL`` and follow
+them with ``sweep status`` / ``sweep watch``; identical concurrent
+submissions are deduplicated into one computation, warm grid points are
+served from the store without dispatching, and results are bit-identical
+to a local ``sweep run`` of the same file.  SIGTERM drains gracefully.
 
 ``paper`` produces the one-command reproduction artifact
 (:mod:`repro.report.paper`): ``paper run`` executes the e1–e11 suite on a
@@ -182,10 +194,17 @@ def _cmd_sweep(argv: list[str]) -> int:
     sub = argparse.ArgumentParser(
         prog="python -m repro sweep",
         description="Plan / execute / inspect a declarative sweep "
-        "(a SweepSpec JSON file).",
+        "(a SweepSpec JSON file), locally or against a running sweep "
+        "service (see 'python -m repro serve').",
     )
-    sub.add_argument("action", choices=("run", "plan", "status"))
-    sub.add_argument("sweep_file", help="JSON file holding one SweepSpec object")
+    sub.add_argument(
+        "action", choices=("run", "plan", "status", "submit", "watch")
+    )
+    sub.add_argument(
+        "sweep_file",
+        help="JSON file holding one SweepSpec object; with --server, "
+        "status/watch also accept a sweep id (e.g. sw0-ab12cd34)",
+    )
     sub.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for trial fan-out (default: auto)",
@@ -206,8 +225,24 @@ def _cmd_sweep(argv: list[str]) -> int:
         "engine; default: auto — batch eligible multi-trial grid points. "
         "Results are bit-identical either way",
     )
+    sub.add_argument(
+        "--server", default=None, metavar="URL",
+        help="a running sweep service (python -m repro serve); required "
+        "for submit/watch, and switches status to the service's view",
+    )
+    sub.add_argument(
+        "--priority", type=int, default=0,
+        help="scheduling priority when submitting via --server "
+        "(lower drains first; default 0)",
+    )
     args = sub.parse_args(argv)
     from .api.sweeps import SweepSpec, run_sweep
+
+    if args.action in ("submit", "watch") and not args.server:
+        print(f"sweep {args.action} needs --server URL", file=sys.stderr)
+        return 2
+    if args.server:
+        return _sweep_remote(args)
 
     try:
         sweep = SweepSpec.from_json(Path(args.sweep_file).read_text())
@@ -305,6 +340,206 @@ def _cmd_sweep(argv: list[str]) -> int:
         Path(args.json).write_text(json.dumps(result.to_dict(), indent=2))
         print(f"wrote sweep result to {args.json}")
     return 0
+
+
+def _resolve_remote_sweep(client, arg: str):
+    """Map a CLI positional to a server-side sweep id.
+
+    A path to a SweepSpec file resolves by content hash against the
+    service's sweep index (returning the spec too, so ``watch`` can
+    submit it when absent); anything else is taken as a sweep id.
+    """
+    from .api.sweeps import SweepSpec
+
+    if not Path(arg).is_file():
+        return arg, None
+    spec = SweepSpec.from_json(Path(arg).read_text())
+    sweep_hash = spec.hash()
+    for entry in client.sweeps()["sweeps"]:
+        if entry["hash"] == sweep_hash:
+            return entry["id"], spec
+    return None, spec
+
+
+def _print_remote_status(status: dict) -> None:
+    print(f"sweep {status['id']} ({status['label'] or 'unlabelled'})")
+    print(f"  state:    {status['state']}"
+          + (f" — {status['error']}" if status.get("error") else ""))
+    print(f"  trials:   {status['trials_done']}/{status['trials_allocated']} "
+          f"done, {status['rounds']} round(s), {status['points']} point(s)")
+    print(f"  store:    {status['store']['hits']} cached, "
+          f"{status['store']['misses']} computed")
+    if status.get("dedup_count"):
+        print(f"  shared:   {status['dedup_count']} deduplicated submission(s)")
+    if status.get("fingerprint"):
+        print(f"  fingerprint {status['fingerprint']}")
+    service = status.get("service", {})
+    if service:
+        print(
+            "  service:  "
+            f"{service['workers_alive']} worker(s), "
+            f"{service['jobs_queued']} queued, "
+            f"{service['jobs_running']} running, "
+            f"{service['sweeps_active']} sweep(s) active, "
+            f"{service['workers_crashed_total']} crash(es)"
+        )
+
+
+def _sweep_remote(args: argparse.Namespace) -> int:
+    """The --server side of the sweep verbs: submit / status / watch."""
+    from .api.sweeps import SweepSpec
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.action == "plan":
+            print("sweep plan is local-only; drop --server", file=sys.stderr)
+            return 2
+
+        if args.action == "submit":
+            try:
+                spec = SweepSpec.from_json(Path(args.sweep_file).read_text())
+            except (OSError, ValueError, ReproError) as exc:
+                print(f"cannot load sweep from {args.sweep_file}: {exc}",
+                      file=sys.stderr)
+                return 2
+            response = client.submit(spec, priority=args.priority)
+            verb = "joined" if response["deduped"] else "submitted"
+            print(f"{verb} sweep {response['id']} "
+                  f"(hash {response['hash']}, state {response['state']})")
+            print(f"follow with: python -m repro sweep watch "
+                  f"{response['id']} --server {args.server}")
+            return 0
+
+        sweep_id, spec = _resolve_remote_sweep(client, args.sweep_file)
+        if args.action == "status":
+            if sweep_id is None:
+                print(f"{args.sweep_file} (hash {spec.hash()}) is not on "
+                      f"{args.server}; submit it first")
+                return 2
+            _print_remote_status(client.status(sweep_id))
+            return 0
+
+        # watch (and run, which aliases it): submit-if-absent, then follow.
+        if sweep_id is None:
+            response = client.submit(spec, priority=args.priority)
+            sweep_id = response["id"]
+            print(f"submitted sweep {sweep_id}")
+        t0 = time.perf_counter()
+        last = {"done": -1}
+
+        def _progress(status: dict) -> None:
+            if status["trials_done"] != last["done"]:
+                last["done"] = status["trials_done"]
+                print(f"  {status['trials_done']}/{status['trials_allocated']}"
+                      f" trial(s) done ({status['state']})")
+
+        results = client.watch(sweep_id, on_status=_progress)
+        elapsed = time.perf_counter() - t0
+        print()
+        print(format_row_dicts(
+            results["rows"],
+            title=f"sweep {results['hash']}: {results['total_trials']} "
+            f"trial(s), {results['rounds']} round(s) ({elapsed:.1f}s)",
+        ))
+        print(f"fingerprint {results['fingerprint']}")
+        if args.json:
+            Path(args.json).write_text(json.dumps(results, indent=2))
+            print(f"wrote sweep result to {args.json}")
+        return 0
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_serve(argv: list[str]) -> int:
+    sub = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the sweep service: an HTTP server scheduling "
+        "submitted SweepSpecs over a pool of worker processes that share "
+        "one result store.  SIGTERM/SIGINT drain gracefully.",
+    )
+    sub.add_argument(
+        "--store", default=DEFAULT_STORE,
+        help=f"shared result store directory (default: {DEFAULT_STORE})",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes executing trials (default: 2)",
+    )
+    sub.add_argument("--host", default="127.0.0.1", help="bind address")
+    sub.add_argument(
+        "--port", type=int, default=8750,
+        help="bind port; 0 picks an ephemeral port (default: 8750)",
+    )
+    sub.add_argument(
+        "--job-timeout", type=float, default=300.0,
+        help="seconds a dispatched job may run before its worker is "
+        "recycled and the job requeued (default: 300)",
+    )
+    sub.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="tries a job gets (crashes/timeouts) before its sweep "
+        "fails (default: 3)",
+    )
+    sub.add_argument(
+        "--job-chunk", type=int, default=None,
+        help="split grid-point trial requests into jobs of at most this "
+        "many trials (default: one job per request)",
+    )
+    sub.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every result-store append (durable, slower)",
+    )
+    sub.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=None,
+        help="force the batched (--batch) or scalar (--no-batch) trial "
+        "engine in workers; default: auto",
+    )
+    args = sub.parse_args(argv)
+    import signal
+    import threading
+
+    from .service import ServiceConfig, SweepService
+
+    config = ServiceConfig(
+        store=args.store,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        batch=_batch_mode(args),
+        job_timeout=args.job_timeout,
+        max_attempts=args.max_attempts,
+        job_chunk=args.job_chunk,
+        fsync=args.fsync,
+    )
+    service = SweepService(config)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        print(f"received {signal.Signals(signum).name}; draining...",
+              flush=True)
+        service.begin_drain()
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        service.start()
+    except OSError as exc:
+        print(f"cannot start service: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"sweep service listening on {service.url} "
+        f"(store {args.store}, {args.workers} worker(s))",
+        flush=True,
+    )
+    while not stop.wait(0.2):
+        pass
+    clean = service.stop()
+    print("drained cleanly" if clean else
+          "drain timed out; workers terminated", flush=True)
+    return 0 if clean else 1
 
 
 def _cmd_paper(argv: list[str]) -> int:
@@ -594,6 +829,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "sweep":
         return _cmd_sweep(argv[1:])
 
+    if argv and argv[0] == "serve":
+        return _cmd_serve(argv[1:])
+
     if argv and argv[0] == "paper":
         return _cmd_paper(argv[1:])
 
@@ -616,7 +854,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         help="experiment ids (e1..e11) or 'all'; or the subcommands "
-        "run/run-batch/sweep/paper/cache/registry/components",
+        "run/run-batch/sweep/serve/paper/cache/registry/components",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
@@ -641,8 +879,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key:>4}  {_DESCRIPTIONS[key]}")
         print(
             "\nsubcommands: run <spec.json> | run-batch <specs.json> | "
-            "sweep <run|plan|status> <sweep.json> | "
-            "paper <run|render|diff> | "
+            "sweep <run|plan|status|submit|watch> <sweep.json> | "
+            "serve | paper <run|render|diff> | "
             "cache <stats|prune|clear> | registry | components"
         )
         return 0

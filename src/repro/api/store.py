@@ -26,7 +26,17 @@ Robustness properties:
 
 * **Append-only writes.**  A crash mid-write can only truncate the final
   line; every earlier entry stays intact, which is what makes interrupted
-  sweeps resumable.
+  sweeps resumable.  A truncated tail (no trailing newline) is detected the
+  first time the file is touched again and physically truncated back to the
+  last complete line, so the next append can never be swallowed by a
+  half-written predecessor.
+* **Multi-process write safety.**  Every append — and the whole of
+  :meth:`prune` / :meth:`clear` — runs under an advisory
+  :class:`~repro.util.locking.FileLock` on ``<store>/.lock``, so N service
+  workers plus the server (plus a concurrent ``repro cache prune``) never
+  interleave partial lines.  Pass ``lock=False`` to opt out when a store is
+  provably single-writer.  ``fsync=True`` additionally forces each append
+  to disk before returning (the service's durability option).
 * **Corrupt-entry tolerance.**  Unparseable or truncated lines are counted
   and skipped on load, never fatal.  Result entries additionally store the
   :meth:`RunResult.fingerprint`; an entry whose recomputed fingerprint
@@ -50,6 +60,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple, Union
 import numpy as np
 
 from ..expansion.estimate import ExpansionEstimate
+from ..util.locking import FileLock
 from .specs import RunResult, ScenarioSpec
 
 __all__ = ["BaselineKey", "ResultStore", "StoreStats", "baseline_key"]
@@ -126,9 +137,21 @@ class ResultStore:
     processes after the index is built are picked up by :meth:`reload`.
     """
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        lock: bool = True,
+        fsync: bool = False,
+    ) -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        #: Cross-process advisory lock serialising appends and compaction
+        #: (``None`` when the caller vouches for a single writer).
+        self.lock: Optional[FileLock] = (
+            FileLock(self.path / ".lock") if lock else None
+        )
         self._results: Optional[Dict[str, RunResult]] = None
         self._baselines: Optional[Dict[str, ExpansionEstimate]] = None
         self._tables: Optional[Dict[str, Dict[str, Any]]] = None
@@ -152,29 +175,79 @@ class ResultStore:
     def tables_file(self) -> Path:
         return self.path / _TABLES_FILE
 
+    def _locked(self):
+        """The store-wide critical-section guard (no-op when ``lock=False``)."""
+        if self.lock is not None:
+            return self.lock
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def _heal_tail(self, file: Path) -> None:
+        """Truncate a half-written final line left by a crash.
+
+        A crash mid-append leaves the file without a trailing newline; the
+        fragment is unparseable and, left in place, would swallow the next
+        appended record.  On the first touch of each file (read *or* write)
+        the tail is checked and the file truncated back to its last complete
+        line.  Runs under the store lock so a reader can never truncate a
+        line another process is mid-way through writing — an in-progress
+        locked append is, by definition, not a crash remnant.
+        """
+        if file in self._healed:
+            return
+        self._healed.add(file)
+        if not file.exists() or file.stat().st_size == 0:
+            return
+        with self._locked():
+            with io.open(file, "rb+") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size == 0:
+                    return
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) == b"\n":
+                    return
+                # Scan backwards in blocks for the last newline; everything
+                # after it is the crash remnant.
+                keep = 0
+                pos = size
+                block = 4096
+                while pos > 0:
+                    step = min(block, pos)
+                    pos -= step
+                    fh.seek(pos)
+                    chunk = fh.read(step)
+                    idx = chunk.rfind(b"\n")
+                    if idx != -1:
+                        keep = pos + idx + 1
+                        break
+                fh.truncate(keep)
+                self.corrupt_entries += 1
+
     def _append(self, file: Path, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         # A single buffered write per line: a crash can truncate the final
-        # line (tolerated on load) but never interleave two entries.  If a
-        # previous crash left the file without a trailing newline, heal it
-        # first so the truncated fragment cannot swallow this record — the
-        # probe runs once per file per instance; our own writes are always
-        # newline-terminated afterwards.
-        needs_newline = False
-        if file not in self._healed:
-            self._healed.add(file)
-            if file.exists() and file.stat().st_size > 0:
-                with io.open(file, "rb") as fh:
-                    fh.seek(-1, os.SEEK_END)
-                    needs_newline = fh.read(1) != b"\n"
-        with io.open(file, "a", encoding="utf-8") as fh:
-            if needs_newline:
-                fh.write("\n")
-            fh.write(line + "\n")
+        # line (healed away on the next touch) but never interleave two
+        # entries from one process — and the advisory lock extends that
+        # guarantee across processes (service workers share one store).
+        self._heal_tail(file)
+        with self._locked():
+            with io.open(file, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
 
     def _iter_lines(self, file: Path):
         if not file.exists():
             return
+        try:
+            self._heal_tail(file)
+        except OSError:
+            # Read-only store: leave the fragment in place — the parse loop
+            # below tolerates (and counts) it anyway.
+            pass
         with io.open(file, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -289,6 +362,16 @@ class ResultStore:
             self.superseded_entries += 1
         index[record["key"]] = result
 
+    def remember(self, result: RunResult) -> None:
+        """Insert an *already persisted* result into the in-memory index.
+
+        The service's workers append to the same JSONL files from other
+        processes and ship each result back over the event queue; the server
+        indexes them through this method instead of re-reading the files, so
+        its warm-point checks stay current without any disk traffic.
+        """
+        self._load_results()[result.spec.hash()] = result
+
     def __contains__(self, spec: ScenarioSpec) -> bool:
         return self.get_result(spec) is not None
 
@@ -359,36 +442,41 @@ class ResultStore:
         compacted but never filtered — they are tiny and shared across
         scenario sets.
         """
-        results = dict(self._load_results())
-        baselines = dict(self._load_baselines())
-        tables = dict(self._load_tables())
-        before = self.stats()
-        if keep is not None:
-            wanted = {spec.hash() for spec in keep}
-            results = {k: v for k, v in results.items() if k in wanted}
-        self.clear()
-        for result in results.values():
-            self.put_result(result)
-        for key_str, estimate in baselines.items():
-            self._append(
-                self.baselines_file,
-                {"key": key_str, "estimate": _estimate_to_dict(estimate)},
+        with self._locked():
+            # Holding the lock across the whole compaction means concurrent
+            # writers (service workers) block rather than append to a file
+            # that is about to be rewritten under them.
+            results = dict(self._load_results())
+            baselines = dict(self._load_baselines())
+            tables = dict(self._load_tables())
+            before = self.stats()
+            if keep is not None:
+                wanted = {spec.hash() for spec in keep}
+                results = {k: v for k, v in results.items() if k in wanted}
+            self.clear()
+            for result in results.values():
+                self.put_result(result)
+            for key_str, estimate in baselines.items():
+                self._append(
+                    self.baselines_file,
+                    {"key": key_str, "estimate": _estimate_to_dict(estimate)},
+                )
+                self._load_baselines()[key_str] = estimate
+            for key_str, payload in tables.items():
+                self.put_table(key_str, payload)
+            dropped = (
+                before.corrupt + before.superseded + (before.results - len(results))
             )
-            self._load_baselines()[key_str] = estimate
-        for key_str, payload in tables.items():
-            self.put_table(key_str, payload)
-        dropped = (
-            before.corrupt + before.superseded + (before.results - len(results))
-        )
-        return {"kept": len(results), "dropped": dropped}
+            return {"kept": len(results), "dropped": dropped}
 
     def clear(self) -> None:
         """Delete every stored entry (the files themselves are removed)."""
-        for file in (self.results_file, self.baselines_file, self.tables_file):
-            if file.exists():
-                file.unlink()
-        self._results = {}
-        self._baselines = {}
-        self._tables = {}
-        self.corrupt_entries = 0
-        self.superseded_entries = 0
+        with self._locked():
+            for file in (self.results_file, self.baselines_file, self.tables_file):
+                if file.exists():
+                    file.unlink()
+            self._results = {}
+            self._baselines = {}
+            self._tables = {}
+            self.corrupt_entries = 0
+            self.superseded_entries = 0

@@ -81,7 +81,9 @@ __all__ = [
     "SweepPoint",
     "PointStats",
     "PointSummary",
+    "SweepDriver",
     "SweepResult",
+    "execute_units",
     "run_sweep",
 ]
 
@@ -922,7 +924,7 @@ def _round(x: float, nd: int = 4) -> Any:
 # --------------------------------------------------------------------- #
 
 
-def _execute_units(
+def execute_units(
     sess: "Session",  # noqa: F821
     units: List[Tuple[int, int]],
     specs: List[ScenarioSpec],
@@ -973,6 +975,147 @@ def _execute_units(
     return out  # type: ignore[return-value]  # every slot is filled
 
 
+class SweepDriver:
+    """The deterministic allocation-round state machine of one sweep.
+
+    This is :func:`run_sweep` with the *execution* cut out: the driver owns
+    the grid, the per-point online aggregates, the sampling-policy loop and
+    the fingerprint bookkeeping, while the caller decides how each round's
+    work units actually run — inline through a :class:`Session`
+    (:func:`run_sweep`) or fanned out over service worker processes
+    (:mod:`repro.service.scheduler`).  Both callers therefore share one
+    definition of "what runs next" and "how results aggregate", which is
+    what makes a distributed sweep's fingerprint bit-identical to a local
+    one *by construction* rather than by parallel reimplementation.
+
+    Protocol::
+
+        driver = SweepDriver(sweep)
+        while True:
+            requests = driver.next_round()      # [(point, start, n), ...]
+            if not requests:
+                break
+            for point, start, n in requests:    # execute any way you like,
+                for t in range(start, start + n):
+                    driver.fold(point, t, run(sweep.trial_spec(...)))
+        result = driver.result()
+
+    The one rule the caller must keep: ``fold`` results in *request order*
+    (points in the order ``next_round`` returned them, trials ascending
+    within each request) before calling ``next_round`` again.  Allocation
+    decisions read the aggregates, so feeding them in a different order
+    would let adaptive policies diverge between executors.
+    """
+
+    def __init__(self, sweep: SweepSpec, *, keep_results: bool = False) -> None:
+        self.sweep = sweep
+        self.points = sweep.points()
+        self.keep_results = keep_results
+        self._aggs = [
+            PointAggregate(sweep.metrics, sweep.policy.confidence)
+            for _ in self.points
+        ]
+        self._allocated = [0] * len(self.points)
+        self._fingerprints: List[List[str]] = [[] for _ in self.points]
+        self._collected: List[List[RunResult]] = [[] for _ in self.points]
+        #: Trials folded so far / allocation rounds issued so far.
+        self.total = 0
+        self.rounds = 0
+        self._done = False
+
+    # -- the policy loop ------------------------------------------------- #
+
+    def next_round(self) -> List[Tuple[int, int, int]]:
+        """Ask the sampling policy for the next round's work.
+
+        Returns ``(point index, first trial index, n trials)`` requests —
+        empty when the sweep is complete (the driver then flips to
+        :attr:`done`).  Trial indices advance monotonically per point, so a
+        request is exactly the argument set of
+        :meth:`SweepSpec.trial_spec` calls the caller must execute.
+        """
+        if self._done:
+            return []
+        requests = self.sweep.policy.allocate(
+            [agg.halfwidth() for agg in self._aggs],
+            list(self._allocated),
+            self.sweep.trials,
+        )
+        if not requests:
+            self._done = True
+            return []
+        self.rounds += 1
+        out: List[Tuple[int, int, int]] = []
+        for i, n_new in requests:
+            out.append((i, self._allocated[i], n_new))
+            self._allocated[i] += n_new
+        return out
+
+    def fold(self, point_index: int, trial: int, result: RunResult) -> None:
+        """Fold one completed trial into the aggregates (in request order)."""
+        self._aggs[point_index].push(result)
+        self._fingerprints[point_index].append(result.fingerprint())
+        self.total += 1
+        if self.keep_results:
+            self._collected[point_index].append(result)
+
+    @property
+    def done(self) -> bool:
+        """True once :meth:`next_round` has returned an empty allocation."""
+        return self._done
+
+    # -- introspection (the service's status surface) -------------------- #
+
+    @property
+    def allocated(self) -> Tuple[int, ...]:
+        return tuple(self._allocated)
+
+    def point_snapshots(self) -> List[Dict[str, Any]]:
+        """Live per-point state: coordinates, progress and current stats —
+        the payload behind ``GET /sweeps/{id}`` while a sweep is running."""
+        folded = [len(f) for f in self._fingerprints]
+        return [
+            {
+                "index": p.index,
+                "label": p.spec.label,
+                "coords": [[path, v] for path, v in p.coords],
+                "allocated": self._allocated[p.index],
+                "completed": folded[p.index],
+                "stats": {
+                    m: self._aggs[p.index].point_stats(m).to_dict()
+                    for m in self.sweep.metrics
+                },
+            }
+            for p in self.points
+        ]
+
+    def result(self) -> SweepResult:
+        """The aggregated :class:`SweepResult` (valid once :attr:`done`)."""
+        summaries = tuple(
+            PointSummary(
+                index=p.index,
+                coords=p.coords,
+                label=p.spec.label,
+                n_trials=self._allocated[p.index],
+                stats={
+                    m: self._aggs[p.index].point_stats(m)
+                    for m in self.sweep.metrics
+                },
+                trial_fingerprints=tuple(self._fingerprints[p.index]),
+                results=(
+                    tuple(self._collected[p.index]) if self.keep_results else None
+                ),
+            )
+            for p in self.points
+        )
+        return SweepResult(
+            sweep=self.sweep,
+            points=summaries,
+            total_trials=self.total,
+            rounds=self.rounds,
+        )
+
+
 def run_sweep(
     sweep: SweepSpec,
     session: Optional["Session"] = None,  # noqa: F821 — late import below
@@ -1017,49 +1160,22 @@ def run_sweep(
         raise SpecError(
             f"batch must be 'auto', True, False or None, got {batch_mode!r}"
         )
-    points = sweep.points()
-    aggs = [PointAggregate(sweep.metrics, sweep.policy.confidence) for _ in points]
-    allocated = [0] * len(points)
-    fingerprints: List[List[str]] = [[] for _ in points]
-    collected: List[List[RunResult]] = [[] for _ in points]
-    total = 0
-    rounds = 0
+    driver = SweepDriver(sweep, keep_results=keep_results)
+    points = driver.points
     while True:
-        requests = sweep.policy.allocate(
-            [agg.halfwidth() for agg in aggs], allocated, sweep.trials
-        )
+        requests = driver.next_round()
         if not requests:
             break
-        rounds += 1
-        units: List[Tuple[int, int]] = []
-        for i, n_new in requests:
-            units.extend((i, t) for t in range(allocated[i], allocated[i] + n_new))
-            allocated[i] += n_new
+        units: List[Tuple[int, int]] = [
+            (i, t) for i, start, n in requests for t in range(start, start + n)
+        ]
         if on_round is not None:
-            on_round(rounds, len(units), total)
+            on_round(driver.rounds, len(units), driver.total)
         specs = [sweep.trial_spec(points[i], t) for i, t in units]
         for (i, t), result in zip(
-            units, _execute_units(sess, units, specs, batch_mode)
+            units, execute_units(sess, units, specs, batch_mode)
         ):
-            aggs[i].push(result)
-            fingerprints[i].append(result.fingerprint())
-            total += 1
-            if keep_results:
-                collected[i].append(result)
+            driver.fold(i, t, result)
             if on_result is not None:
                 on_result(i, t, result)
-    summaries = tuple(
-        PointSummary(
-            index=p.index,
-            coords=p.coords,
-            label=p.spec.label,
-            n_trials=allocated[p.index],
-            stats={m: aggs[p.index].point_stats(m) for m in sweep.metrics},
-            trial_fingerprints=tuple(fingerprints[p.index]),
-            results=tuple(collected[p.index]) if keep_results else None,
-        )
-        for p in points
-    )
-    return SweepResult(
-        sweep=sweep, points=summaries, total_trials=total, rounds=rounds
-    )
+    return driver.result()

@@ -1,0 +1,32 @@
+"""The sweep service: a long-running HTTP server with a distributed
+job scheduler (stdlib only — ``http.server`` + ``multiprocessing``).
+
+Start one with ``python -m repro serve --store DIR --workers N``, talk to
+it with :class:`~repro.service.client.ServiceClient` or the
+``python -m repro sweep submit|status|watch --server URL`` CLI verbs.
+
+The contract that makes the service boring (in the good way): a sweep
+executed through the service is **bit-identical** — same per-trial
+results, same store entries, same fingerprint — to a local
+:func:`~repro.api.sweeps.run_sweep` of the same spec, regardless of
+worker count, crash/requeue history, or how much of it was served warm
+from the store.  See :mod:`repro.service.scheduler` for why.
+"""
+
+from .client import ServiceClient, ServiceError
+from .metrics import Counters, SERVICE_METRICS
+from .scheduler import Job, Scheduler, SchedulerError, SweepEntry
+from .server import ServiceConfig, SweepService
+
+__all__ = [
+    "Counters",
+    "Job",
+    "Scheduler",
+    "SchedulerError",
+    "SERVICE_METRICS",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepEntry",
+    "SweepService",
+]

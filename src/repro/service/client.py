@@ -1,0 +1,136 @@
+"""A thin stdlib HTTP client for the sweep service.
+
+Used by the ``python -m repro sweep submit|status|watch --server URL``
+CLI verbs and by tests; it is a deliberate 1:1 mapping of the REST
+surface with JSON decoding and error translation, nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Optional
+
+from ..api.sweeps import SweepSpec
+from ..errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """An HTTP error from the service, with the server's message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.SweepService`.
+
+    >>> client = ServiceClient("http://127.0.0.1:8750")  # doctest: +SKIP
+    >>> submitted = client.submit(spec)                  # doctest: +SKIP
+    >>> client.watch(submitted["id"])                    # doctest: +SKIP
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------- #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except (ValueError, AttributeError):
+                message = raw or exc.reason
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}")
+        return json.loads(raw) if raw else None
+
+    def _request_text(self, path: str) -> str:
+        request = urllib.request.Request(self.base_url + path)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc}")
+
+    # -- the REST surface ------------------------------------------------ #
+
+    def submit(self, spec: "SweepSpec | Dict[str, Any]", *, priority: int = 0) -> Dict[str, Any]:
+        """``POST /sweeps``; returns ``{id, hash, state, deduped}``."""
+        spec_dict = spec.to_dict() if isinstance(spec, SweepSpec) else spec
+        return self._request(
+            "POST", "/sweeps", {"sweep": spec_dict, "priority": priority}
+        )
+
+    def status(self, sweep_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/sweeps/{sweep_id}")
+
+    def results(self, sweep_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/sweeps/{sweep_id}/results")
+
+    def cancel(self, sweep_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/sweeps/{sweep_id}")
+
+    def sweeps(self) -> Dict[str, Any]:
+        return self._request("GET", "/sweeps")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition body of ``GET /metrics``."""
+        return self._request_text("/metrics")
+
+    # -- conveniences ---------------------------------------------------- #
+
+    def watch(
+        self,
+        sweep_id: str,
+        *,
+        interval: float = 0.2,
+        timeout: float = 600.0,
+        on_status: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Poll status until the sweep leaves the running states, then
+        return the full results payload.  Raises on failure/cancellation
+        and on ``timeout`` seconds without completion."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(sweep_id)
+            if on_status is not None:
+                on_status(status)
+            if status["state"] == "done":
+                return self.results(sweep_id)
+            if status["state"] in ("failed", "cancelled"):
+                raise ServiceError(
+                    410, f"sweep {sweep_id} {status['state']}: {status['error']}"
+                )
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    408, f"sweep {sweep_id} still {status['state']} after {timeout:g}s"
+                )
+            time.sleep(interval)

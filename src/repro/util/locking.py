@@ -1,0 +1,97 @@
+"""Advisory cross-process file locking (the store's write-safety primitive).
+
+:class:`FileLock` wraps ``fcntl.flock`` on a dedicated lock file: any number
+of processes (service workers, the HTTP server, a concurrently running
+``repro cache prune``) serialise their critical sections by locking the same
+path.  Properties that matter to callers:
+
+* **Reentrant within a process.**  One :class:`FileLock` instance may be
+  acquired recursively (``prune`` holds the lock while calling
+  ``put_result``, which acquires it again); an internal
+  :class:`threading.RLock` plus a depth counter means the ``flock`` syscall
+  happens only on the outermost acquire.  The same :class:`threading.RLock`
+  also serialises the service's HTTP handler threads against each other —
+  ``flock`` alone would not, because a process's file locks are shared
+  across its threads.
+* **Crash-safe.**  Kernel advisory locks die with their holder: a worker
+  killed mid-append releases the lock automatically, so a crash can never
+  wedge the store (unlike lock *files* whose existence is the lock).
+* **Degrades to process-local.**  On platforms without :mod:`fcntl`
+  (Windows), the thread lock still works and cross-process exclusion is
+  silently skipped — single-process usage is unaffected, and the POSIX-only
+  service is the only multi-process writer.
+
+Blocking is the only mode offered; store critical sections are a single
+buffered write or a bounded compaction, so fairness/starvation machinery
+would be dead weight.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # pragma: no cover - exercised only on POSIX (all CI platforms)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """A reentrant advisory lock on ``path`` (created on first acquire).
+
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     lock = FileLock(pathlib.Path(d) / ".lock")
+    ...     with lock:
+    ...         with lock:          # reentrant: no self-deadlock
+    ...             lock.held
+    True
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        """Whether the current process holds the lock right now."""
+        return self._depth > 0
+
+    def acquire(self) -> None:
+        self._thread_lock.acquire()
+        if self._depth == 0 and fcntl is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:  # pragma: no cover - e.g. flock-less filesystems
+                os.close(fd)
+            else:
+                self._fd = fd
+        self._depth += 1
+
+    def release(self) -> None:
+        if self._depth <= 0:
+            raise RuntimeError(f"release of unheld lock {self.path}")
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)  # type: ignore[union-attr]
+            finally:
+                os.close(self._fd)
+                self._fd = None
+        self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -211,3 +211,126 @@ class TestCrossProcessStability:
         stored_fp, fresh_fp = proc.stdout.split()
         assert stored_fp == result.fingerprint()
         assert fresh_fp == result.fingerprint()
+
+
+class TestWriteSafety:
+    """Advisory locking, fsync and crash-tail recovery (the service's
+    concurrent-store contract)."""
+
+    def test_lock_file_created_and_optional(self, tmp_path):
+        locked = ResultStore(tmp_path / "locked")
+        locked.put_table("k", {"v": 1})
+        assert locked.lock is not None
+        assert (locked.path / ".lock").exists()
+        unlocked = ResultStore(tmp_path / "unlocked", lock=False)
+        unlocked.put_table("k", {"v": 1})
+        assert unlocked.lock is None
+        assert not (unlocked.path / ".lock").exists()
+
+    def test_lock_is_reentrant_through_prune(self, store):
+        """prune() holds the lock while calling put_result (which locks
+        again) — reentrancy means no self-deadlock."""
+        store.put_result(run(torus_spec()))
+        store.put_result(run(torus_spec()))
+        assert store.prune() == {"kept": 1, "dropped": 1}
+        assert not store.lock.held  # fully released afterwards
+
+    def test_maintenance_blocks_until_writer_releases(self, store):
+        """stats/prune/clear are safe while a writer holds the lock: the
+        read-only stats tolerates the in-flight state, and prune/clear wait
+        for the lock instead of racing the writer."""
+        import threading
+
+        store.put_table("warm", {"v": 1})
+        other = ResultStore(store.path)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hold():
+            with other.lock:
+                entered.set()
+                release.wait(5.0)
+
+        t = threading.Thread(target=hold)
+        t.start()
+        entered.wait(5.0)
+        assert store.stats().tables == 1  # read path never blocks
+        pruned = {}
+
+        def prune():
+            pruned["counts"] = store.prune()
+
+        p = threading.Thread(target=prune)
+        p.start()
+        p.join(0.2)
+        assert p.is_alive()  # prune is parked behind the writer's lock
+        release.set()
+        p.join(5.0)
+        t.join(5.0)
+        assert pruned["counts"]["kept"] == 0  # tables aren't results
+        assert ResultStore(store.path).stats().tables == 1
+
+    def test_fsync_append_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "durable", fsync=True)
+        result = run(torus_spec())
+        store.put_result(result)
+        assert ResultStore(store.path).get_result(torus_spec()) == result
+
+    def test_partial_tail_truncated_on_next_open(self, store):
+        """A crash-truncated final line is tolerated on load and physically
+        truncated, leaving the file all complete lines again."""
+        results = [run(torus_spec(seed=s)) for s in range(3)]
+        for r in results:
+            store.put_result(r)
+        raw = store.results_file.read_text()
+        store.results_file.write_text(raw + '{"key": "half-writ')
+        reopened = ResultStore(store.path)
+        assert len(reopened) == 3
+        assert reopened.corrupt_entries == 1
+        healed = store.results_file.read_text()
+        assert healed == raw  # the fragment is physically gone
+        assert healed.endswith("\n")
+
+    def test_partial_tail_never_swallows_next_append(self, store):
+        store.put_result(run(torus_spec(seed=0)))
+        with open(store.results_file, "a") as fh:
+            fh.write('{"key": "half-writ')  # no newline: simulated crash
+        reopened = ResultStore(store.path)
+        reopened.put_result(run(torus_spec(seed=1)))
+        fresh = ResultStore(store.path)
+        assert len(fresh) == 2
+        assert fresh.stats().corrupt == 0  # fragment was truncated, not kept
+
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        """N processes hammering one store produce only complete lines —
+        the advisory-lock guarantee the service's worker pool relies on."""
+        store_dir = tmp_path / "shared"
+        ResultStore(store_dir)  # create the directory
+        code = (
+            "import sys\n"
+            "from repro.api.store import ResultStore\n"
+            "store = ResultStore(sys.argv[1])\n"
+            "who = sys.argv[2]\n"
+            "pad = 'x' * 4096\n"
+            "for i in range(40):\n"
+            "    store.put_table(f'{who}:{i}', {'who': who, 'i': i, 'pad': pad})\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", code, str(store_dir), f"w{k}"],
+                env=env,
+            )
+            for k in range(4)
+        ]
+        for p in procs:
+            assert p.wait(timeout=120) == 0
+        store = ResultStore(store_dir)
+        stats = store.stats()
+        assert stats.tables == 4 * 40
+        assert stats.corrupt == 0
+        for k in range(4):
+            for i in range(40):
+                assert store.get_table(f"w{k}:{i}")["i"] == i

@@ -1,0 +1,42 @@
+"""Shared fixtures for the sweep-service tests."""
+
+import pytest
+
+from repro.api.specs import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
+from repro.api.sweeps import Axis, SweepSpec
+
+
+def _make_sweep(
+    *,
+    sides: int = 8,
+    values=(0.05, 0.2),
+    trials: int = 3,
+    seed: int = 11,
+    label: str = "svc-test",
+) -> SweepSpec:
+    """A small real sweep: a torus under random node faults, gamma metric."""
+    base = ScenarioSpec(
+        graph=GraphSpec("torus", {"sides": sides, "d": 2}),
+        fault=FaultSpec("random_node", {"p": 0.1}),
+        analysis=AnalysisSpec(mode="node"),
+        label=label,
+    )
+    return SweepSpec(
+        base=base,
+        axes=(Axis("fault.params.p", tuple(values)),),
+        trials=trials,
+        seed=seed,
+        metrics=("gamma",),
+        label=label,
+    )
+
+
+@pytest.fixture
+def make_sweep():
+    """The sweep factory itself, for tests that need spec variants."""
+    return _make_sweep
+
+
+@pytest.fixture
+def sweep():
+    return _make_sweep()
