@@ -383,6 +383,15 @@ def _print_remote_status(status: dict) -> None:
             f"{service['sweeps_active']} sweep(s) active, "
             f"{service['workers_crashed_total']} crash(es)"
         )
+        if "store_segments" in service:
+            print(
+                "  storage:  "
+                f"{service['store_entries']} entr(ies) in "
+                f"{service['store_segments']} segment(s), "
+                f"garbage {service['store_garbage_ratio']:.0%}, "
+                f"{service['store_compactions_total']} compaction(s), "
+                f"{service['store_index_hits_total']} index hit(s)"
+            )
 
 
 def _sweep_remote(args: argparse.Namespace) -> int:
@@ -683,10 +692,27 @@ def _cmd_cache(argv: list[str]) -> int:
         prog="python -m repro cache",
         description="Inspect / maintain a persistent result store.",
     )
-    sub.add_argument("action", choices=("stats", "prune", "clear"))
+    sub.add_argument("action", choices=("stats", "prune", "clear", "compact"))
     sub.add_argument(
         "--store", default=DEFAULT_STORE,
         help=f"store directory (default: {DEFAULT_STORE})",
+    )
+    sub.add_argument(
+        "--min-garbage", type=float, default=0.3, metavar="RATIO",
+        help="compact: only rewrite shards at or above this garbage ratio "
+        "(default: 0.3)",
+    )
+    sub.add_argument(
+        "--force", action="store_true",
+        help="compact: rewrite every shard regardless of garbage ratio",
+    )
+    sub.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="compact: evict oldest entries until live bytes fit the budget",
+    )
+    sub.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="compact: evict entries older than this many days",
     )
     args = sub.parse_args(argv)
     from .api.store import ResultStore
@@ -697,12 +723,36 @@ def _cmd_cache(argv: list[str]) -> int:
     store = ResultStore(args.store)
     if args.action == "stats":
         for key, value in store.stats().to_dict().items():
-            print(f"{key:>12}  {value}")
+            print(f"{key:>13}  {value}")
+        for row in store.shard_rows("results"):
+            if not row["segments"] and not row["entries"]:
+                continue  # empty shards add nothing to the picture
+            print(
+                f"  results/shard-{row['shard']:02d}  "
+                f"entries={row['entries']}  segments={row['segments']}  "
+                f"garbage_ratio={row['garbage_ratio']:.2f}"
+            )
     elif args.action == "prune":
         counts = store.prune()
         print(
             f"pruned {args.store}: kept {counts['kept']} result(s), "
             f"dropped {counts['dropped']}"
+        )
+    elif args.action == "compact":
+        counts = store.compact(
+            force=args.force,
+            min_garbage=args.min_garbage,
+            max_bytes=args.max_bytes,
+            max_age_s=(
+                args.max_age_days * 86400.0
+                if args.max_age_days is not None
+                else None
+            ),
+        )
+        print(
+            f"compacted {args.store}: kept {counts['kept']}, dropped "
+            f"{counts['superseded']} superseded, {counts['corrupt']} corrupt, "
+            f"{counts['evicted']} evicted"
         )
     else:
         n = len(store)

@@ -1,65 +1,72 @@
-"""Content-addressed on-disk store for scenario results and baselines.
+"""Content-addressed store for scenario results and baselines.
 
 :class:`ResultStore` is the persistence layer behind
-:class:`repro.api.session.Session`.  Two append-only JSONL files live in the
-store directory:
+:class:`repro.api.session.Session`.  Since PR 7 it is a thin facade over
+the sharded storage engine in :mod:`repro.storage`: records live in
+hash-sharded, size-rotated segment files with a persistent sidecar offset
+index per shard, so opening a warm store costs O(index) — keys and
+offsets, **no record decoding** — and each lookup decodes exactly one
+record.  Three record kinds are stored:
 
-* ``results.jsonl`` — one :class:`~repro.api.specs.RunResult` per line,
-  keyed by the scenario's content hash (:meth:`ScenarioSpec.hash`, which
-  covers graph + fault + analysis + seed).  The determinism contract —
-  identical ``(spec, seed)`` ⇒ identical result — is what makes the key
-  sound: a hit can be substituted for execution byte-for-byte.
-* ``baselines.jsonl`` — fault-free :class:`ExpansionEstimate`s keyed by
+* ``results`` — one :class:`~repro.api.specs.RunResult` per record, keyed
+  by the scenario's content hash (:meth:`ScenarioSpec.hash`, which covers
+  graph + fault + analysis + seed).  The determinism contract — identical
+  ``(spec, seed)`` ⇒ identical result — is what makes the key sound: a hit
+  can be substituted for execution byte-for-byte.
+* ``baselines`` — fault-free :class:`ExpansionEstimate`s keyed by
   ``(GraphSpec.key(), mode, exact_threshold)``, so a warm store skips even
   the baseline phase of a batch.
-* ``tables.jsonl`` — arbitrary JSON payloads keyed by an opaque string,
-  used by the paper-report pipeline (:mod:`repro.report.paper`) to cache
-  whole rendered experiment tables keyed by (experiment, runner kwargs,
-  table schema, experiment-layer source hash): a warm paper rerun then
-  re-renders with *zero* recomputation, including the experiments whose
-  measurement loops fall outside the scenario engine (E7/E8/E10).  Like
-  every other entry kind, a cached table presumes the library code below
+* ``tables`` — arbitrary JSON payloads keyed by an opaque string, used by
+  the paper-report pipeline (:mod:`repro.report.paper`) to cache whole
+  rendered experiment tables: a warm paper rerun then re-renders with
+  *zero* recomputation.  A cached table presumes the library code below
   the keyed layer is unchanged — recompute with ``refresh`` after such
   changes.
 
-Robustness properties:
+Robustness properties (unchanged from the single-file store):
 
 * **Append-only writes.**  A crash mid-write can only truncate the final
-  line; every earlier entry stays intact, which is what makes interrupted
-  sweeps resumable.  A truncated tail (no trailing newline) is detected the
-  first time the file is touched again and physically truncated back to the
-  last complete line, so the next append can never be swallowed by a
-  half-written predecessor.
-* **Multi-process write safety.**  Every append — and the whole of
-  :meth:`prune` / :meth:`clear` — runs under an advisory
-  :class:`~repro.util.locking.FileLock` on ``<store>/.lock``, so N service
-  workers plus the server (plus a concurrent ``repro cache prune``) never
-  interleave partial lines.  Pass ``lock=False`` to opt out when a store is
-  provably single-writer.  ``fsync=True`` additionally forces each append
-  to disk before returning (the service's durability option).
-* **Corrupt-entry tolerance.**  Unparseable or truncated lines are counted
-  and skipped on load, never fatal.  Result entries additionally store the
-  :meth:`RunResult.fingerprint`; an entry whose recomputed fingerprint
-  disagrees is treated as corrupt (the cache can serve wrong-but-parseable
-  data to no one).
+  line of one shard's active segment; every earlier entry stays intact,
+  which is what makes interrupted sweeps resumable.  Truncated tails are
+  healed on the next open.
+* **Multi-process write safety.**  Every append runs under an advisory
+  :class:`~repro.util.locking.FileLock` — now one lock *per shard*, so
+  service workers appending different keys no longer contend.  Pass
+  ``lock=False`` to opt out when a store is provably single-writer;
+  ``fsync=True`` forces each append to disk before returning.
+* **Corrupt-entry tolerance.**  Unparseable lines are counted and skipped,
+  never fatal.  Result entries additionally store the
+  :meth:`RunResult.fingerprint`; verification is *lazy* — an entry whose
+  key or recomputed fingerprint disagrees is rejected at lookup time (and
+  physically dropped by the next compaction, which re-verifies every
+  surviving record).
 * **Last-entry-wins.**  Re-running a scenario appends a fresh entry;
-  :meth:`prune` compacts the files, dropping superseded and corrupt lines.
+  superseded and corrupt lines accumulate as garbage until
+  :meth:`compact` / :meth:`prune` rewrites the affected shards (automatic
+  once a shard's garbage ratio is high enough).
 
-Maintenance operations: :meth:`stats`, :meth:`prune`, :meth:`clear`.
+Legacy stores (single ``results.jsonl``/``baselines.jsonl``/
+``tables.jsonl`` files at the store root, the PR 1–6 layout) are migrated
+into the sharded layout transparently on open.  Migration moves each raw
+line byte-for-byte, so every result and its fingerprint survive
+bit-identically — a sweep against a migrated store fingerprints the same
+as against the original.
+
+Maintenance operations: :meth:`stats` (index-served, O(shards)),
+:meth:`compact`, :meth:`prune`, :meth:`clear`.
 """
 
 from __future__ import annotations
 
-import io
-import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..expansion.estimate import ExpansionEstimate
+from ..storage import StorageEngine
 from ..util.locking import FileLock
 from .specs import RunResult, ScenarioSpec
 
@@ -68,10 +75,6 @@ __all__ = ["BaselineKey", "ResultStore", "StoreStats", "baseline_key"]
 #: ``(graph content hash, expansion mode, exact threshold)`` — the identity
 #: of one fault-free baseline estimate.
 BaselineKey = Tuple[str, str, int]
-
-_RESULTS_FILE = "results.jsonl"
-_BASELINES_FILE = "baselines.jsonl"
-_TABLES_FILE = "tables.jsonl"
 
 
 def baseline_key(spec: ScenarioSpec) -> BaselineKey:
@@ -107,7 +110,12 @@ def _estimate_from_dict(d: Dict[str, Any]) -> ExpansionEstimate:
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Aggregate state of a store (the ``repro cache stats`` payload)."""
+    """Aggregate state of a store (the ``repro cache stats`` payload).
+
+    Served entirely from the shard offset indexes — computing these
+    decodes no records and verifies no fingerprints (corruption hiding
+    behind a parseable line surfaces at lookup or compaction instead).
+    """
 
     path: str
     results: int
@@ -116,6 +124,8 @@ class StoreStats:
     superseded: int
     bytes: int
     tables: int = 0
+    segments: int = 0
+    garbage_ratio: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -126,15 +136,20 @@ class StoreStats:
             "corrupt": self.corrupt,
             "superseded": self.superseded,
             "bytes": self.bytes,
+            "segments": self.segments,
+            "garbage_ratio": round(self.garbage_ratio, 4),
         }
 
 
 class ResultStore:
     """Persistent scenario-result + baseline cache rooted at a directory.
 
-    The in-memory index is built lazily on first read and kept in sync with
-    appends made through this instance; entries appended by *other*
-    processes after the index is built are picked up by :meth:`reload`.
+    Membership (``spec in store``, :meth:`__len__`, :meth:`stats`) is
+    answered from the shard indexes in O(1)/O(shards); record bytes are
+    read and decoded only by an actual lookup.  Entries appended by
+    *other* processes after a shard's index is loaded are picked up by
+    :meth:`reload` (the service instead feeds results back through
+    :meth:`remember`).
     """
 
     def __init__(
@@ -145,140 +160,126 @@ class ResultStore:
         fsync: bool = False,
     ) -> None:
         self.path = Path(path)
-        self.path.mkdir(parents=True, exist_ok=True)
-        self.fsync = fsync
-        #: Cross-process advisory lock serialising appends and compaction
-        #: (``None`` when the caller vouches for a single writer).
-        self.lock: Optional[FileLock] = (
-            FileLock(self.path / ".lock") if lock else None
-        )
-        self._results: Optional[Dict[str, RunResult]] = None
-        self._baselines: Optional[Dict[str, ExpansionEstimate]] = None
-        self._tables: Optional[Dict[str, Dict[str, Any]]] = None
-        self._healed: set = set()  # files whose trailing newline was checked
-        #: Unreadable / truncated / fingerprint-mismatched lines seen on load.
-        self.corrupt_entries = 0
-        #: Parsed lines superseded by a later entry with the same key.
-        self.superseded_entries = 0
+        self.engine = StorageEngine(self.path, lock=lock, fsync=fsync)
+        self.engine.verifier = self._verify_record
+        #: Store-wide advisory lock — held by whole-store maintenance
+        #: (:meth:`prune`, :meth:`clear`, legacy migration) so two
+        #: processes never rewrite the layout concurrently.  Appends take
+        #: only their shard's lock.
+        self.lock: Optional[FileLock] = self.engine._global_lock
+        #: Results shipped in via :meth:`remember` (already persisted by
+        #: another process) — overlay consulted before the shard indexes.
+        self._remembered: Dict[str, RunResult] = {}
 
-    # -- file plumbing -------------------------------------------------- #
+    # -- engine plumbing -------------------------------------------------- #
 
     @property
-    def results_file(self) -> Path:
-        return self.path / _RESULTS_FILE
+    def fsync(self) -> bool:
+        return self.engine.fsync
+
+    @fsync.setter
+    def fsync(self, value: bool) -> None:
+        self.engine.fsync = value
+        for kind in self.engine.kinds():
+            for shard in self.engine.shards(kind):
+                shard.fsync = value
 
     @property
-    def baselines_file(self) -> Path:
-        return self.path / _BASELINES_FILE
+    def counters(self):
+        """The engine's monotonic operational counters (for metrics)."""
+        return self.engine.counters
 
     @property
-    def tables_file(self) -> Path:
-        return self.path / _TABLES_FILE
+    def corrupt_entries(self) -> int:
+        """Corrupt lines observed since open (heals, scans, lazy rejects)."""
+        self.engine.load_all()
+        total = self.engine.migration_corrupt
+        for kind in self.engine.kinds():
+            total += sum(s.corrupt_seen for s in self.engine.shards(kind))
+        return total
 
-    def _locked(self):
-        """The store-wide critical-section guard (no-op when ``lock=False``)."""
-        if self.lock is not None:
-            return self.lock
-        import contextlib
+    @property
+    def superseded_entries(self) -> int:
+        """Resident lines whose key was re-appended later (any kind)."""
+        self.engine.load_all()
+        total = 0
+        for kind in self.engine.kinds():
+            total += sum(
+                s.superseded_current for s in self.engine.shards(kind)
+            )
+        return total
 
-        return contextlib.nullcontext()
+    def segment_files(self, kind: str = "results") -> List[Path]:
+        """Every live segment file of ``kind`` (test/debug helper)."""
+        return self.engine.segment_files(kind)
 
-    def _heal_tail(self, file: Path) -> None:
-        """Truncate a half-written final line left by a crash.
-
-        A crash mid-append leaves the file without a trailing newline; the
-        fragment is unparseable and, left in place, would swallow the next
-        appended record.  On the first touch of each file (read *or* write)
-        the tail is checked and the file truncated back to its last complete
-        line.  Runs under the store lock so a reader can never truncate a
-        line another process is mid-way through writing — an in-progress
-        locked append is, by definition, not a crash remnant.
-        """
-        if file in self._healed:
-            return
-        self._healed.add(file)
-        if not file.exists() or file.stat().st_size == 0:
-            return
-        with self._locked():
-            with io.open(file, "rb+") as fh:
-                fh.seek(0, os.SEEK_END)
-                size = fh.tell()
-                if size == 0:
-                    return
-                fh.seek(-1, os.SEEK_END)
-                if fh.read(1) == b"\n":
-                    return
-                # Scan backwards in blocks for the last newline; everything
-                # after it is the crash remnant.
-                keep = 0
-                pos = size
-                block = 4096
-                while pos > 0:
-                    step = min(block, pos)
-                    pos -= step
-                    fh.seek(pos)
-                    chunk = fh.read(step)
-                    idx = chunk.rfind(b"\n")
-                    if idx != -1:
-                        keep = pos + idx + 1
-                        break
-                fh.truncate(keep)
-                self.corrupt_entries += 1
-
-    def _append(self, file: Path, record: Dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        # A single buffered write per line: a crash can truncate the final
-        # line (healed away on the next touch) but never interleave two
-        # entries from one process — and the advisory lock extends that
-        # guarantee across processes (service workers share one store).
-        self._heal_tail(file)
-        with self._locked():
-            with io.open(file, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
-                if self.fsync:
-                    fh.flush()
-                    os.fsync(fh.fileno())
-
-    def _iter_lines(self, file: Path):
-        if not file.exists():
-            return
-        try:
-            self._heal_tail(file)
-        except OSError:
-            # Read-only store: leave the fragment in place — the parse loop
-            # below tolerates (and counts) it anyway.
-            pass
-        with io.open(file, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    self.corrupt_entries += 1
-                    continue
-                if not isinstance(record, dict):
-                    self.corrupt_entries += 1
-                    continue
-                yield record
+    def _verify_record(self, kind: str, key: str, record: dict) -> bool:
+        """Compaction's integrity check — the one *eager* verification
+        pass, run only while a shard is being rewritten anyway."""
+        if kind == "results":
+            return self._decode_result(record) is not None
+        if kind == "baselines":
+            try:
+                _estimate_from_dict(record["estimate"])
+            except Exception:
+                return False
+            return True
+        if kind == "tables":
+            return isinstance(record.get("payload"), dict)
+        return True
 
     # -- load / reload -------------------------------------------------- #
 
-    def _load_results(self) -> Dict[str, RunResult]:
-        if self._results is None:
-            index: Dict[str, RunResult] = {}
-            for record in self._iter_lines(self.results_file):
-                entry = self._decode_result(record)
-                if entry is None:
-                    self.corrupt_entries += 1
-                    continue
-                key, result = entry
-                if key in index:
-                    self.superseded_entries += 1
-                index[key] = result
-            self._results = index
-        return self._results
+    def reload(self) -> None:
+        """Drop the in-memory indexes (picks up other processes' appends)."""
+        self.engine.reload()
+        self._remembered = {}
+
+    # -- results -------------------------------------------------------- #
+
+    def get_result(self, spec: ScenarioSpec) -> Optional[RunResult]:
+        """The stored result of ``spec``, or ``None`` on a cache miss.
+
+        Decodes (and key/fingerprint-verifies) exactly one record; a
+        verification failure rejects the entry and marks it corrupt so
+        the next compaction drops it physically.
+        """
+        key = spec.hash()
+        hit = self._remembered.get(key)
+        if hit is not None:
+            return hit
+        record = self.engine.get_record("results", key)
+        if record is None:
+            return None
+        entry = self._decode_result(record)
+        if entry is None:
+            self.engine.discard("results", key)
+            return None
+        return entry[1]
+
+    def put_result(self, result: RunResult) -> None:
+        """Append ``result``; it becomes the entry served for its spec."""
+        self.engine.append("results", result.spec.hash(), self._result_record(result))
+
+    def put_results(self, results: Iterable[RunResult]) -> int:
+        """Bulk append under one lock acquisition per shard; returns the
+        number of records written."""
+        records = [
+            (result.spec.hash(), self._result_record(result))
+            for result in results
+        ]
+        self.engine.append_many("results", records)
+        return len(records)
+
+    @staticmethod
+    def _result_record(result: RunResult) -> Dict[str, Any]:
+        return {
+            "key": result.spec.hash(),
+            "seed": result.seed,
+            "label": result.label,
+            "fingerprint": result.fingerprint(),
+            "result": result.to_dict(),
+        }
 
     def _decode_result(self, record: Dict[str, Any]) -> Optional[Tuple[str, RunResult]]:
         try:
@@ -295,188 +296,153 @@ class ResultStore:
             return None
         return key, result
 
-    def _load_baselines(self) -> Dict[str, ExpansionEstimate]:
-        if self._baselines is None:
-            index: Dict[str, ExpansionEstimate] = {}
-            for record in self._iter_lines(self.baselines_file):
-                try:
-                    key = record["key"]
-                    estimate = _estimate_from_dict(record["estimate"])
-                except Exception:
-                    self.corrupt_entries += 1
-                    continue
-                if key in index:
-                    self.superseded_entries += 1
-                index[key] = estimate
-            self._baselines = index
-        return self._baselines
-
-    def _load_tables(self) -> Dict[str, Dict[str, Any]]:
-        if self._tables is None:
-            index: Dict[str, Dict[str, Any]] = {}
-            for record in self._iter_lines(self.tables_file):
-                try:
-                    key = record["key"]
-                    payload = record["payload"]
-                except Exception:
-                    self.corrupt_entries += 1
-                    continue
-                if not isinstance(key, str) or not isinstance(payload, dict):
-                    self.corrupt_entries += 1
-                    continue
-                if key in index:
-                    self.superseded_entries += 1
-                index[key] = payload
-            self._tables = index
-        return self._tables
-
-    def reload(self) -> None:
-        """Drop the in-memory index (picks up other processes' appends)."""
-        self._results = None
-        self._baselines = None
-        self._tables = None
-        self._healed = set()
-        self.corrupt_entries = 0
-        self.superseded_entries = 0
-
-    # -- results -------------------------------------------------------- #
-
-    def get_result(self, spec: ScenarioSpec) -> Optional[RunResult]:
-        """The stored result of ``spec``, or ``None`` on a cache miss."""
-        return self._load_results().get(spec.hash())
-
-    def put_result(self, result: RunResult) -> None:
-        """Append ``result``; it becomes the entry served for its spec."""
-        record = {
-            "key": result.spec.hash(),
-            "seed": result.seed,
-            "label": result.label,
-            "fingerprint": result.fingerprint(),
-            "result": result.to_dict(),
-        }
-        # Load the index *before* appending, or the lazy first load would
-        # see the new line on disk and miscount it as a duplicate.
-        index = self._load_results()
-        self._append(self.results_file, record)
-        if record["key"] in index:
-            self.superseded_entries += 1
-        index[record["key"]] = result
-
     def remember(self, result: RunResult) -> None:
-        """Insert an *already persisted* result into the in-memory index.
+        """Insert an *already persisted* result into the in-memory overlay.
 
-        The service's workers append to the same JSONL files from other
-        processes and ship each result back over the event queue; the server
-        indexes them through this method instead of re-reading the files, so
-        its warm-point checks stay current without any disk traffic.
+        The service's workers append to the same store from other
+        processes and ship each result back over the event queue; the
+        server indexes them through this method instead of re-reading any
+        files, so its warm-point checks stay current with zero disk
+        traffic.
         """
-        self._load_results()[result.spec.hash()] = result
+        self._remembered[result.spec.hash()] = result
+
+    def contains_key(self, key: str) -> bool:
+        """O(1) index membership for a raw result key — no file read."""
+        return key in self._remembered or self.engine.contains("results", key)
 
     def __contains__(self, spec: ScenarioSpec) -> bool:
-        return self.get_result(spec) is not None
+        return self.contains_key(spec.hash())
 
     def __len__(self) -> int:
-        return len(self._load_results())
+        n = self.engine.count("results")
+        for key in self._remembered:
+            if not self.engine.contains("results", key):
+                n += 1
+        return n
 
     # -- baselines ------------------------------------------------------ #
 
     def get_baseline(self, key: BaselineKey) -> Optional[ExpansionEstimate]:
         """The stored fault-free estimate for a baseline key, if any."""
-        return self._load_baselines().get(_baseline_key_str(key))
+        key_str = _baseline_key_str(key)
+        record = self.engine.get_record("baselines", key_str)
+        if record is None:
+            return None
+        try:
+            return _estimate_from_dict(record["estimate"])
+        except Exception:
+            self.engine.discard("baselines", key_str)
+            return None
 
     def put_baseline(self, key: BaselineKey, estimate: ExpansionEstimate) -> None:
-        record = {
-            "key": _baseline_key_str(key),
-            "estimate": _estimate_to_dict(estimate),
-        }
-        index = self._load_baselines()
-        self._append(self.baselines_file, record)
-        if record["key"] in index:
-            self.superseded_entries += 1
-        index[record["key"]] = estimate
+        key_str = _baseline_key_str(key)
+        self.engine.append(
+            "baselines",
+            key_str,
+            {"key": key_str, "estimate": _estimate_to_dict(estimate)},
+        )
 
     # -- generic table payloads ----------------------------------------- #
 
     def get_table(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached JSON payload stored under ``key`` (None on a miss)."""
-        return self._load_tables().get(key)
+        record = self.engine.get_record("tables", str(key))
+        if record is None:
+            return None
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            self.engine.discard("tables", str(key))
+            return None
+        return payload
 
     def put_table(self, key: str, payload: Dict[str, Any]) -> None:
         """Append a JSON payload under an opaque key (last entry wins)."""
-        record = {"key": str(key), "payload": payload}
-        index = self._load_tables()
-        self._append(self.tables_file, record)
-        if record["key"] in index:
-            self.superseded_entries += 1
-        index[record["key"]] = payload
+        self.engine.append(
+            "tables", str(key), {"key": str(key), "payload": payload}
+        )
 
     # -- maintenance ---------------------------------------------------- #
 
     def stats(self) -> StoreStats:
-        """Entry counts, anomaly counts and on-disk size."""
-        results = self._load_results()
-        baselines = self._load_baselines()
-        tables = self._load_tables()
-        size = sum(
-            f.stat().st_size
-            for f in (self.results_file, self.baselines_file, self.tables_file)
-            if f.exists()
-        )
+        """Entry counts, anomaly counts and on-disk size — index-served.
+
+        Unlike the legacy store, this decodes no records: counts come
+        straight from the shard offset indexes, so ``cache stats`` on a
+        million-entry store is instant.
+        """
+        totals = {
+            kind: self.engine.counts(kind) for kind in self.engine.kinds()
+        }
+        live = sum(c["entries"] for c in totals.values())
+        garbage = sum(c["garbage"] for c in totals.values())
         return StoreStats(
             path=str(self.path),
-            results=len(results),
-            baselines=len(baselines),
+            results=totals.get("results", {}).get("entries", 0),
+            baselines=totals.get("baselines", {}).get("entries", 0),
+            tables=totals.get("tables", {}).get("entries", 0),
             corrupt=self.corrupt_entries,
             superseded=self.superseded_entries,
-            bytes=size,
-            tables=len(tables),
+            bytes=sum(c["bytes"] for c in totals.values()),
+            segments=sum(c["segments"] for c in totals.values()),
+            garbage_ratio=(garbage / (live + garbage)) if (live + garbage) else 0.0,
+        )
+
+    def shard_rows(self, kind: str = "results") -> List[Dict[str, float]]:
+        """Per-shard stats rows (the ``cache stats`` detail listing)."""
+        return self.engine.shard_rows(kind)
+
+    def compact(
+        self,
+        *,
+        force: bool = False,
+        min_garbage: float = 0.0,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Rewrite shards, dropping superseded/corrupt lines and applying
+        eviction policies (see :meth:`StorageEngine.compact`).  Survivor
+        lines are copied byte-for-byte, so fingerprints are untouched;
+        every survivor is re-verified on the way through."""
+        return self.engine.compact(
+            force=force,
+            min_garbage=min_garbage,
+            max_bytes=max_bytes,
+            max_age_s=max_age_s,
         )
 
     def prune(self, keep: Optional[Iterable[ScenarioSpec]] = None) -> Dict[str, int]:
-        """Compact both files: drop corrupt and superseded lines (and, when
-        ``keep`` is given, every result whose spec is not in ``keep``).
+        """Compact every shard: drop corrupt and superseded lines (and,
+        when ``keep`` is given, every result whose spec is not in
+        ``keep``).
 
         Returns ``{"kept": ..., "dropped": ...}`` where ``dropped`` counts
-        every line physically removed: corrupt lines, superseded duplicates,
-        and (with ``keep``) filtered-out results.  Baselines are always
-        compacted but never filtered — they are tiny and shared across
-        scenario sets.
+        every line physically removed: corrupt lines, superseded
+        duplicates, and (with ``keep``) filtered-out results.  Baselines
+        and tables are always compacted but never filtered — they are tiny
+        and shared across scenario sets.
         """
-        with self._locked():
-            # Holding the lock across the whole compaction means concurrent
-            # writers (service workers) block rather than append to a file
-            # that is about to be rewritten under them.
-            results = dict(self._load_results())
-            baselines = dict(self._load_baselines())
-            tables = dict(self._load_tables())
-            before = self.stats()
-            if keep is not None:
-                wanted = {spec.hash() for spec in keep}
-                results = {k: v for k, v in results.items() if k in wanted}
-            self.clear()
-            for result in results.values():
-                self.put_result(result)
-            for key_str, estimate in baselines.items():
-                self._append(
-                    self.baselines_file,
-                    {"key": key_str, "estimate": _estimate_to_dict(estimate)},
-                )
-                self._load_baselines()[key_str] = estimate
-            for key_str, payload in tables.items():
-                self.put_table(key_str, payload)
-            dropped = (
-                before.corrupt + before.superseded + (before.results - len(results))
-            )
-            return {"kept": len(results), "dropped": dropped}
+        keep_map = None
+        if keep is not None:
+            wanted = {spec.hash() for spec in keep}
+            keep_map = {"results": lambda key: key in wanted}
+        import contextlib
+
+        with self.lock if self.lock is not None else contextlib.nullcontext():
+            totals = self.engine.compact(force=True, keep=keep_map)
+        self._remembered = {}
+        return {
+            "kept": self.engine.count("results"),
+            "dropped": totals["superseded"]
+            + totals["corrupt"]
+            + totals["filtered"]
+            + totals["evicted"],
+        }
 
     def clear(self) -> None:
-        """Delete every stored entry (the files themselves are removed)."""
-        with self._locked():
-            for file in (self.results_file, self.baselines_file, self.tables_file):
-                if file.exists():
-                    file.unlink()
-            self._results = {}
-            self._baselines = {}
-            self._tables = {}
-            self.corrupt_entries = 0
-            self.superseded_entries = 0
+        """Delete every stored entry (segments and indexes are removed)."""
+        import contextlib
+
+        with self.lock if self.lock is not None else contextlib.nullcontext():
+            self.engine.clear()
+        self._remembered = {}

@@ -44,10 +44,35 @@ SERVICE_METRICS: Dict[str, Tuple[str, str]] = {
     "trials_total": ("counter", "trials folded into sweep aggregates"),
     "workers_spawned_total": ("counter", "worker processes started (incl. replacements)"),
     "workers_crashed_total": ("counter", "worker processes that died or were timed out"),
+    # Storage-engine counters, synced from the result store's monotonic
+    # StorageCounters before every exposition (see Service.sync_store_metrics).
+    "store_compactions_total": ("counter", "result-store shard compactions"),
+    "store_evictions_total": (
+        "counter",
+        "result-store entries evicted by size/age policy",
+    ),
+    "store_index_hits_total": (
+        "counter",
+        "result-store lookups answered by a shard offset index",
+    ),
+    "store_index_misses_total": (
+        "counter",
+        "result-store lookups whose key was absent from every index",
+    ),
+    "stores_migrated_total": (
+        "counter",
+        "legacy single-file stores migrated to the sharded layout on open",
+    ),
     "jobs_queued": ("gauge", "jobs currently waiting on the priority queue"),
     "jobs_running": ("gauge", "jobs currently executing on a worker"),
     "sweeps_active": ("gauge", "sweeps currently queued or running"),
     "workers_alive": ("gauge", "worker processes currently alive"),
+    "store_segments": ("gauge", "segment files across the result store's shards"),
+    "store_entries": ("gauge", "live entries in the result store (all kinds)"),
+    "store_garbage_ratio": (
+        "gauge",
+        "superseded+corrupt fraction of the result store's resident lines",
+    ),
     "uptime_seconds": ("gauge", "seconds since the service started"),
     "trials_per_second": ("gauge", "trials folded per second of uptime"),
 }
@@ -81,6 +106,19 @@ class Counters:
     def set_gauge(self, name: str, value: float) -> None:
         if SERVICE_METRICS[name][0] != "gauge":
             raise KeyError(f"{name!r} is not a gauge")
+        with self._lock:
+            self._values[name] = value
+
+    def set_value(self, name: str, value: float) -> None:
+        """Overwrite a metric with an absolute value (counter or gauge).
+
+        Used to mirror externally-maintained monotonic counters — the
+        storage engine keeps its own :class:`~repro.storage.counters.
+        StorageCounters`; the service copies them in before each
+        exposition rather than double-counting increments.
+        """
+        if name not in SERVICE_METRICS:
+            raise KeyError(f"unknown metric {name!r}")
         with self._lock:
             self._values[name] = value
 

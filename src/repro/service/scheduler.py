@@ -445,10 +445,17 @@ class Scheduler:
         if self.store is None:
             return None
         point = entry.driver.points[job.point_index]
+        trials = range(job.trial_start, job.trial_start + job.n_trials)
+        specs = [entry.spec.trial_spec(point, t) for t in trials]
+        # Two phases: membership first — an O(1) index probe per trial, no
+        # record decoded — so a cold job is rejected without touching any
+        # segment file; only a fully-present job pays the decode cost.
+        if any(spec not in self.store for spec in specs):
+            return None
         out: List[RunResult] = []
-        for t in range(job.trial_start, job.trial_start + job.n_trials):
-            cached = self.store.get_result(entry.spec.trial_spec(point, t))
-            if cached is None:
+        for spec in specs:
+            cached = self.store.get_result(spec)
+            if cached is None:  # lazy verification rejected the entry
                 return None
             out.append(cached)
         return out

@@ -343,10 +343,34 @@ class SweepService:
 
     # -- HTTP payload helpers -------------------------------------------- #
 
+    def sync_store_metrics(self) -> None:
+        """Mirror the storage engine's counters into the service registry.
+
+        The engine keeps its own monotonic :class:`StorageCounters`; the
+        service copies the operationally interesting subset (plus three
+        index-served gauges) right before each exposition, so ``/metrics``
+        and ``sweep status`` always show the storage engine's current view
+        without the engine knowing about the service.
+        """
+        sc = self.store.counters
+        c = self.counters
+        c.set_value("store_compactions_total", sc.get("compactions"))
+        c.set_value("store_evictions_total", sc.get("evictions"))
+        c.set_value("store_index_hits_total", sc.get("index_hits"))
+        c.set_value("store_index_misses_total", sc.get("index_misses"))
+        c.set_value("stores_migrated_total", sc.get("stores_migrated"))
+        stats = self.store.stats()
+        c.set_gauge("store_segments", stats.segments)
+        c.set_gauge(
+            "store_entries", stats.results + stats.baselines + stats.tables
+        )
+        c.set_gauge("store_garbage_ratio", round(stats.garbage_ratio, 6))
+
     def sweep_status(self, sweep_id: str) -> Dict[str, Any]:
         """``GET /sweeps/{id}``: the scheduler's view plus the service-level
         counters (so ``sweep status`` can show scheduler/worker health)."""
         payload = self.scheduler.status(sweep_id)
+        self.sync_store_metrics()
         payload["service"] = self.counters.snapshot()
         return payload
 
@@ -464,6 +488,7 @@ def _make_handler(service: SweepService):
                 if path == "/healthz":
                     self._send_json(200, service.healthz())
                 elif path == "/metrics":
+                    service.sync_store_metrics()
                     self._send_text(
                         200,
                         service.counters.to_prometheus(),

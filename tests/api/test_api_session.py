@@ -183,13 +183,25 @@ class TestResumeAfterPartialWrite:
         specs = sweep(8)
         reference = Session(tmp_path / "s").run_batch(specs)
         store = ResultStore(tmp_path / "s")
-        lines = store.results_file.read_text().splitlines(keepends=True)
-        # Simulate a crash mid-append: 5 intact lines + half a sixth.
-        store.results_file.write_text("".join(lines[:5]) + lines[5][:60])
+        # Simulate a crash mid-append: truncate the shard segment holding
+        # specs[5] half-way through that record — it and every later entry
+        # in the same segment are lost, everything else stays warm.
+        key = specs[5].hash()
+        shard = store.engine.shard_for("results", key)
+        entry = shard.entry(key)
+        lost = {
+            k
+            for k in shard.keys()
+            if shard.entry(k).seg == entry.seg
+            and shard.entry(k).off >= entry.off
+        }
+        seg = store.engine.locate("results", key)[0]
+        with open(seg, "r+b") as fh:
+            fh.truncate(entry.off + 60)
         session = Session(tmp_path / "s")
         resumed = session.run_batch(specs)
-        assert session.hits == 5
-        assert session.misses == 3
+        assert session.hits == 8 - len(lost)
+        assert session.misses == len(lost)
         assert [r.fingerprint() for r in resumed] == [
             r.fingerprint() for r in reference
         ]

@@ -91,45 +91,96 @@ class TestCorruptionTolerance:
 
     def test_garbage_lines_skipped(self, store):
         results = self._fill(store)
-        with open(store.results_file, "a") as fh:
+        seg = store.engine.locate("results", results[0].spec.hash())[0]
+        with open(seg, "a") as fh:
             fh.write("not json at all\n")
-            fh.write('{"key": "missing result"}\n')
             fh.write('[1, 2, 3]\n')
         reopened = ResultStore(store.path)
         assert len(reopened) == len(results)
-        assert reopened.stats().corrupt == 3
+        assert reopened.stats().corrupt == 2
+        for r in results:
+            assert reopened.get_result(r.spec) == r
+
+    def test_parseable_but_bogus_record_dropped_by_compaction(self, store):
+        """A line that parses (dict + string key) but holds no usable result
+        survives the shallow index scan; compaction's verify pass — the one
+        eager integrity sweep — physically drops it."""
+        results = self._fill(store)
+        store.engine.append_raw(
+            "results", "bogus-key", b'{"key": "bogus-key"}\n'
+        )
+        reopened = ResultStore(store.path)
+        assert len(reopened) == len(results) + 1  # shallow count
+        counts = reopened.compact(force=True)
+        assert counts["corrupt"] == 1
+        assert len(reopened) == len(results)
+        for r in results:
+            assert reopened.get_result(r.spec) == r
 
     def test_truncated_final_line_tolerated(self, store):
         results = self._fill(store)
-        raw = store.results_file.read_text().splitlines(keepends=True)
-        store.results_file.write_text("".join(raw[:-1]) + raw[-1][:50])
+        # Truncate mid-way through seed=3's line; every later entry in the
+        # same shard segment is collateral damage, everything else survives.
+        key = torus_spec(seed=3).hash()
+        shard = store.engine.shard_for("results", key)
+        entry = shard.entry(key)
+        lost = {
+            k
+            for k in shard.keys()
+            if shard.entry(k).seg == entry.seg
+            and shard.entry(k).off >= entry.off
+        }
+        seg = store.engine.locate("results", key)[0]
+        with open(seg, "r+b") as fh:
+            fh.truncate(entry.off + 50)
         reopened = ResultStore(store.path)
-        assert len(reopened) == len(results) - 1
-        assert reopened.get_result(torus_spec(seed=0)) is not None
+        assert len(reopened) == len(results) - len(lost)
         assert reopened.get_result(torus_spec(seed=3)) is None
+        for s in range(3):
+            present = reopened.get_result(torus_spec(seed=s)) is not None
+            assert present == (torus_spec(seed=s).hash() not in lost)
         assert reopened.corrupt_entries == 1
+
+    def _rewrite_record(self, store, key, mutate):
+        """Tamper with the single record for ``key`` in place (and drop the
+        sidecar index so the shard rebuilds from the tampered segment)."""
+        seg, _entry = store.engine.locate("results", key)
+        record = json.loads(seg.read_text())
+        mutate(record)
+        seg.write_text(json.dumps(record) + "\n")
+        (seg.parent / "index.log").unlink()
 
     def test_tampered_value_rejected_by_fingerprint(self, store):
         (result,) = self._fill(store, n=1)
-        record = json.loads(store.results_file.read_text())
-        record["result"]["n_surviving"] = 1  # silently wrong payload
-        store.results_file.write_text(json.dumps(record) + "\n")
+
+        def tamper(record):
+            record["result"]["n_surviving"] = 1  # silently wrong payload
+
+        self._rewrite_record(store, result.spec.hash(), tamper)
         reopened = ResultStore(store.path)
         assert reopened.get_result(torus_spec(seed=0)) is None
         assert reopened.corrupt_entries == 1
 
     def test_wrong_key_rejected(self, store):
         (result,) = self._fill(store, n=1)
-        record = json.loads(store.results_file.read_text())
-        record["key"] = "0" * 16
-        store.results_file.write_text(json.dumps(record) + "\n")
+
+        def tamper(record):
+            record["key"] = "0" * 16
+
+        self._rewrite_record(store, result.spec.hash(), tamper)
         reopened = ResultStore(store.path)
+        # Verification is lazy: the mis-keyed line occupies an index slot
+        # until compaction's verify pass removes it, but it is never served.
+        assert reopened.get_result(torus_spec(seed=0)) is None
+        reopened.compact(force=True)
         assert len(reopened) == 0
 
     def test_corrupt_baseline_lines_skipped(self, store):
-        with open(store.baselines_file, "a") as fh:
-            fh.write('{"key": "x:node:14", "estimate": {"bad": true}}\n')
-            fh.write("garbage\n")
+        shard = store.engine.shard_for("baselines", "x:node:14")
+        seg = shard.path / "seg-000000.jsonl"
+        seg.write_text(
+            '{"key": "x:node:14", "estimate": {"bad": true}}\n' "garbage\n"
+        )
         assert store.get_baseline(("x", "node", 14)) is None
         assert store.corrupt_entries == 2
 
@@ -147,19 +198,24 @@ class TestMaintenance:
         store.put_result(run(torus_spec()))
         store.clear()
         assert len(store) == 0
-        assert not store.results_file.exists()
+        assert store.segment_files("results") == []
 
     def test_prune_compacts_corrupt_and_duplicates(self, store):
         result = run(torus_spec())
         store.put_result(result)
         store.put_result(result)  # superseded duplicate
-        with open(store.results_file, "a") as fh:
+        seg = store.engine.locate("results", result.spec.hash())[0]
+        with open(seg, "a") as fh:
             fh.write("garbage\n")
         reopened = ResultStore(store.path)
         counts = reopened.prune()
         # one superseded duplicate + one corrupt line physically removed
         assert counts == {"kept": 1, "dropped": 2}
-        lines = store.results_file.read_text().strip().splitlines()
+        lines = [
+            line
+            for f in reopened.segment_files("results")
+            for line in f.read_text().strip().splitlines()
+        ]
         assert len(lines) == 1  # one clean line survives compaction
         assert ResultStore(store.path).get_result(torus_spec()) == result
 
@@ -221,11 +277,13 @@ class TestWriteSafety:
         locked = ResultStore(tmp_path / "locked")
         locked.put_table("k", {"v": 1})
         assert locked.lock is not None
-        assert (locked.path / ".lock").exists()
+        # Appends lock per shard now: the written shard has a lock file.
+        shard = locked.engine.shard_for("tables", "k")
+        assert (shard.path / ".lock").exists()
         unlocked = ResultStore(tmp_path / "unlocked", lock=False)
         unlocked.put_table("k", {"v": 1})
         assert unlocked.lock is None
-        assert not (unlocked.path / ".lock").exists()
+        assert not list(unlocked.path.rglob(".lock"))
 
     def test_lock_is_reentrant_through_prune(self, store):
         """prune() holds the lock while calling put_result (which locks
@@ -282,21 +340,34 @@ class TestWriteSafety:
         results = [run(torus_spec(seed=s)) for s in range(3)]
         for r in results:
             store.put_result(r)
-        raw = store.results_file.read_text()
-        store.results_file.write_text(raw + '{"key": "half-writ')
+        seg = store.engine.locate("results", results[0].spec.hash())[0]
+        raw = seg.read_text()
+        with open(seg, "a") as fh:
+            fh.write('{"key": "half-writ')  # no newline: simulated crash
         reopened = ResultStore(store.path)
         assert len(reopened) == 3
         assert reopened.corrupt_entries == 1
-        healed = store.results_file.read_text()
+        healed = seg.read_text()
         assert healed == raw  # the fragment is physically gone
         assert healed.endswith("\n")
 
     def test_partial_tail_never_swallows_next_append(self, store):
         store.put_result(run(torus_spec(seed=0)))
-        with open(store.results_file, "a") as fh:
+        key0 = torus_spec(seed=0).hash()
+        shard0 = store.engine.shard_for("results", key0)
+        # A second spec landing in the *same* shard, so its append follows
+        # the crash fragment.
+        seed1 = next(
+            s
+            for s in range(1, 64)
+            if store.engine.shard_for("results", torus_spec(seed=s).hash())
+            is shard0
+        )
+        seg = store.engine.locate("results", key0)[0]
+        with open(seg, "a") as fh:
             fh.write('{"key": "half-writ')  # no newline: simulated crash
         reopened = ResultStore(store.path)
-        reopened.put_result(run(torus_spec(seed=1)))
+        reopened.put_result(run(torus_spec(seed=seed1)))
         fresh = ResultStore(store.path)
         assert len(fresh) == 2
         assert fresh.stats().corrupt == 0  # fragment was truncated, not kept

@@ -34,6 +34,7 @@ from property.strategies import graphs  # tests/property/strategies.py
 
 from repro.api import engine as scalar_engine
 from repro.api.session import Session
+from repro.api.store import ResultStore
 from repro.api.specs import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
 from repro.api.sweeps import Axis, SweepSpec, run_sweep
 from repro.batch import engine as batch_engine
@@ -178,13 +179,12 @@ def _sweep(trials=5):
 
 
 def _store_entries(path):
-    """Parsed results.jsonl records keyed by spec hash, timings dropped
-    (wall-clock is the one field outside the equivalence contract)."""
+    """Live result records keyed by spec hash, timings dropped (wall-clock
+    is the one field outside the equivalence contract)."""
     entries = {}
-    for line in (path / "results.jsonl").read_text().splitlines():
-        record = json.loads(line)
+    for key, record in ResultStore(path).engine.iter_live("results"):
         record["result"].pop("timings")
-        entries[record["key"]] = record
+        entries[key] = record
     return entries
 
 

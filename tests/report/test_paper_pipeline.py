@@ -63,12 +63,15 @@ class TestRunPaper:
 
     def test_malformed_cached_table_is_a_miss_not_a_crash(self, tmp_path):
         _run(tmp_path, "out")
-        tables_file = tmp_path / "out" / "store" / "tables.jsonl"
-        lines = tables_file.read_text().splitlines()
-        record = json.loads(lines[0])
+        store = ResultStore(tmp_path / "out" / "store")
+        key = sorted(store.engine.keys("tables"))[0]
+        seg, _entry = store.engine.locate("tables", key)
+        record = json.loads(seg.read_text().splitlines()[0])
         record["payload"] = {"not": "a table"}
+        lines = seg.read_text().splitlines()
         lines[0] = json.dumps(record)
-        tables_file.write_text("\n".join(lines) + "\n")
+        seg.write_text("\n".join(lines) + "\n")
+        (seg.parent / "index.log").unlink()  # force a rebuild on next open
         again = _run(tmp_path, "out")
         assert again.table_misses == 1 and again.table_hits == 1
         assert again.engine_calls == 0  # scenario store still warm
@@ -198,7 +201,8 @@ class TestTableCache:
         assert store.get_table("k1") == {"rows": [1, 2]}
         assert store.stats().tables == 1
         # corrupt line is skipped, not fatal
-        with open(store.tables_file, "a") as fh:
+        seg, _entry = store.engine.locate("tables", "k1")
+        with open(seg, "a") as fh:
             fh.write("{broken\n")
         store.reload()
         assert store.get_table("k1") == {"rows": [1, 2]}

@@ -1,0 +1,206 @@
+"""Legacy-store migration: bit-identical contents, warm-vs-cold sweep
+fingerprints, and the multi-process append race the shard locks exist for."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.engine import run, _baseline_task
+from repro.api.session import Session
+from repro.api.specs import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
+from repro.api.store import ResultStore, baseline_key
+from repro.api.sweeps import Axis, SweepSpec, run_sweep
+from repro.storage import StorageEngine
+
+
+def torus_spec(seed=3, p=0.1):
+    return ScenarioSpec(
+        graph=GraphSpec("torus", {"sides": 8, "d": 2}),
+        fault=FaultSpec("random_node", {"p": p}),
+        analysis=AnalysisSpec(),
+        seed=seed,
+    )
+
+
+def build_legacy_store(path: Path, results, baselines=(), tables=()):
+    """Write a PR6-format store: three root-level JSONL files."""
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / "results.jsonl", "w") as fh:
+        for r in results:
+            record = {
+                "key": r.spec.hash(),
+                "seed": r.seed,
+                "label": r.label,
+                "fingerprint": r.fingerprint(),
+                "result": r.to_dict(),
+            }
+            fh.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+    from repro.api.store import _baseline_key_str, _estimate_to_dict
+
+    with open(path / "baselines.jsonl", "w") as fh:
+        for key, estimate in baselines:
+            record = {
+                "key": _baseline_key_str(key),
+                "estimate": _estimate_to_dict(estimate),
+            }
+            fh.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+    with open(path / "tables.jsonl", "w") as fh:
+        for key, payload in tables:
+            fh.write(
+                json.dumps(
+                    {"key": key, "payload": payload},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+
+
+class TestMigration:
+    def test_contents_identical_after_migration(self, tmp_path):
+        specs = [torus_spec(seed=s) for s in range(6)]
+        results = [run(s) for s in specs]
+        estimate = _baseline_task(specs[0])
+        build_legacy_store(
+            tmp_path / "legacy",
+            results,
+            baselines=[(baseline_key(specs[0]), estimate)],
+            tables=[("tbl", {"rows": [1, 2]})],
+        )
+        store = ResultStore(tmp_path / "legacy")
+        assert store.counters.get("stores_migrated") == 1
+        assert not (tmp_path / "legacy" / "results.jsonl").exists()
+        assert len(store) == len(results)
+        for spec, result in zip(specs, results):
+            cached = store.get_result(spec)
+            assert cached == result
+            assert cached.fingerprint() == result.fingerprint()
+        assert store.get_baseline(baseline_key(specs[0])).value == estimate.value
+        assert store.get_table("tbl") == {"rows": [1, 2]}
+
+    def test_migration_is_idempotent(self, tmp_path):
+        results = [run(torus_spec(seed=s)) for s in range(3)]
+        build_legacy_store(tmp_path / "legacy", results)
+        ResultStore(tmp_path / "legacy")
+        reopened = ResultStore(tmp_path / "legacy")
+        assert reopened.counters.get("stores_migrated") == 0
+        assert len(reopened) == 3
+
+    def test_corrupt_legacy_lines_dropped_and_counted(self, tmp_path):
+        results = [run(torus_spec(seed=s)) for s in range(2)]
+        build_legacy_store(tmp_path / "legacy", results)
+        with open(tmp_path / "legacy" / "results.jsonl", "a") as fh:
+            fh.write("not json\n")
+        store = ResultStore(tmp_path / "legacy")
+        assert len(store) == 2
+        assert store.corrupt_entries == 1
+
+    def test_raw_bytes_survive_round_trip(self, tmp_path):
+        """Migration and export move lines verbatim: legacy → sharded →
+        legacy reproduces the original bytes (order aside)."""
+        results = [run(torus_spec(seed=s)) for s in range(4)]
+        build_legacy_store(tmp_path / "legacy", results)
+        original = sorted(
+            (tmp_path / "legacy" / "results.jsonl").read_bytes().splitlines()
+        )
+        store = ResultStore(tmp_path / "legacy")
+        store.engine.export_legacy(tmp_path / "flat.jsonl")
+        assert sorted((tmp_path / "flat.jsonl").read_bytes().splitlines()) == original
+
+
+class TestSweepFingerprints:
+    def _sweep(self):
+        base = ScenarioSpec(
+            graph=GraphSpec("torus", {"sides": 8, "d": 2}),
+            fault=FaultSpec("random_node", {"p": 0.1}),
+            analysis=AnalysisSpec(),
+        )
+        return SweepSpec(
+            base=base,
+            axes=(Axis("fault.params.p", (0.1, 0.3, 0.5)),),
+            trials=3,
+            seed=17,
+            metrics=("gamma",),
+            label="migration-sweep",
+        )
+
+    def test_warm_sweep_on_migrated_store_fingerprints_identically(
+        self, tmp_path
+    ):
+        sweep = self._sweep()
+        cold_session = Session(store=tmp_path / "cold")
+        cold = run_sweep(sweep, cold_session)
+        # Flatten the sharded store back to the legacy layout, then migrate
+        # it: the warm sweep must replay entirely from cache and fingerprint
+        # identically to the cold run.
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        cold_store = ResultStore(tmp_path / "cold")
+        for kind, name in (
+            ("results", "results.jsonl"),
+            ("baselines", "baselines.jsonl"),
+            ("tables", "tables.jsonl"),
+        ):
+            cold_store.engine.export_legacy(legacy / name, kind)
+        warm_session = Session(store=legacy)
+        assert warm_session.store.counters.get("stores_migrated") == 1
+        warm = run_sweep(sweep, warm_session)
+        assert warm.fingerprint() == cold.fingerprint()
+        assert warm_session.misses == 0  # nothing was recomputed
+
+
+class TestConcurrentAppendRace:
+    def test_four_process_append_race_across_shards(self, tmp_path):
+        """Four processes hammer every results shard concurrently; the
+        per-shard locks must keep every line complete and every index
+        entry correct."""
+        store_dir = tmp_path / "shared"
+        StorageEngine(store_dir)  # create the layout
+        code = (
+            "import sys\n"
+            "from repro.storage import StorageEngine\n"
+            "engine = StorageEngine(sys.argv[1])\n"
+            "who = sys.argv[2]\n"
+            "pad = 'x' * 2048\n"
+            "for i in range(50):\n"
+            "    key = f'{who}:{i}'\n"
+            "    engine.append('results', key,"
+            " {'key': key, 'who': who, 'i': i, 'pad': pad})\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", code, str(store_dir), f"w{k}"],
+                env=env,
+            )
+            for k in range(4)
+        ]
+        for p in procs:
+            assert p.wait(timeout=120) == 0
+        engine = StorageEngine(store_dir)
+        assert engine.count("results") == 4 * 50
+        seen = 0
+        for k in range(4):
+            for i in range(50):
+                record = engine.get_record("results", f"w{k}:{i}")
+                assert record["i"] == i and record["who"] == f"w{k}"
+                seen += 1
+        assert seen == 200
+        assert sum(
+            s.corrupt_seen for s in engine.shards("results")
+        ) == 0
+        # The race exercised more than one shard lock.
+        touched = [s for s in engine.shards("results") if len(s)]
+        assert len(touched) > 1

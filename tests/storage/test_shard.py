@@ -1,0 +1,180 @@
+"""Shard-level invariants: rotation, the sidecar index, crash recovery,
+cross-process epoch invalidation."""
+
+import json
+import os
+
+import pytest
+
+from repro.storage.shard import EPOCH_FILE, INDEX_FILE, Shard
+
+
+def line(key, value="v"):
+    return (json.dumps({"key": key, "value": value}) + "\n").encode()
+
+
+@pytest.fixture
+def shard(tmp_path):
+    return Shard(tmp_path / "shard")
+
+
+class TestAppendAndGet:
+    def test_round_trip(self, shard):
+        shard.append("a", line("a"))
+        assert shard.get("a") == line("a")
+        assert shard.get("missing") is None
+        assert len(shard) == 1
+
+    def test_last_entry_wins(self, shard):
+        shard.append("a", line("a", "old"))
+        superseded = shard.append("a", line("a", "new"))
+        assert superseded
+        assert shard.get("a") == line("a", "new")
+        assert len(shard) == 1
+        assert shard.superseded_current == 1
+
+    def test_append_many_batches(self, shard):
+        flags = shard.append_many([("a", line("a")), ("b", line("b")), ("a", line("a", "2"))])
+        assert flags == [False, False, True]
+        assert shard.get("a") == line("a", "2")
+        assert shard.get("b") == line("b")
+
+
+class TestRotation:
+    def test_segments_rotate_at_threshold(self, tmp_path):
+        shard = Shard(tmp_path / "s", segment_bytes=200)
+        for i in range(10):
+            shard.append(f"k{i}", line(f"k{i}", "x" * 50))
+        assert len(shard.segment_files()) > 1
+        for i in range(10):
+            assert shard.get(f"k{i}") == line(f"k{i}", "x" * 50)
+
+    def test_segment_numbers_monotonic_across_compaction(self, tmp_path):
+        shard = Shard(tmp_path / "s", segment_bytes=200)
+        for i in range(10):
+            shard.append(f"k{i}", line(f"k{i}", "x" * 50))
+        before = {int(p.stem.split("-")[1]) for p in shard.segment_files()}
+        shard.compact()
+        after = {int(p.stem.split("-")[1]) for p in shard.segment_files()}
+        assert min(after) > max(before)  # numbers are never reused
+
+
+class TestIndexPersistence:
+    def test_warm_open_reads_index_not_segments(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        for i in range(20):
+            shard.append(f"k{i}", line(f"k{i}"))
+        reopened = Shard(tmp_path / "s")
+        assert len(reopened) == 20
+        # Warm open discovered nothing by scanning: the sidecar was enough.
+        assert reopened.counters.get("tail_scans") == 0
+        assert reopened.counters.get("rebuilds") == 0
+        assert reopened.get("k7") == line("k7")
+
+    def test_tail_scan_picks_up_unindexed_appends(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append("a", line("a"))
+        # Simulate a crash after the record write but before the index
+        # write: append a record line directly to the segment.
+        seg = shard.segment_files()[0]
+        with open(seg, "ab") as fh:
+            fh.write(line("b"))
+        reopened = Shard(tmp_path / "s")
+        assert len(reopened) == 2
+        assert reopened.get("b") == line("b")
+        assert reopened.counters.get("tail_scans") == 1
+
+    def test_missing_index_rebuilds_from_segments(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        for i in range(5):
+            shard.append(f"k{i}", line(f"k{i}"))
+        os.unlink(shard.path / INDEX_FILE)
+        reopened = Shard(tmp_path / "s")
+        assert len(reopened) == 5
+        assert reopened.counters.get("rebuilds") == 1
+        assert (shard.path / INDEX_FILE).exists()  # sidecar rewritten
+
+    def test_shrunk_segment_triggers_rebuild(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append("a", line("a"))
+        shard.append("b", line("b"))
+        seg = shard.segment_files()[0]
+        with open(seg, "r+b") as fh:
+            fh.truncate(len(line("a")))  # "b" vanishes behind the index
+        reopened = Shard(tmp_path / "s")
+        assert len(reopened) == 1
+        assert reopened.get("a") == line("a")
+        assert reopened.get("b") is None
+        assert reopened.counters.get("rebuilds") == 1
+
+    def test_garbage_index_lines_skipped(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append("a", line("a"))
+        with open(shard.path / INDEX_FILE, "ab") as fh:
+            fh.write(b'"torn-entry"\t0\t12')  # no newline, wrong arity
+        reopened = Shard(tmp_path / "s")
+        assert len(reopened) == 1
+
+
+class TestEpochInvalidation:
+    def test_stale_writer_reloads_after_foreign_compaction(self, tmp_path):
+        writer = Shard(tmp_path / "s")
+        writer.append("a", line("a", "old"))
+        # A second handle (another process, in spirit) compacts the shard:
+        # old segments are deleted and the epoch bumped.
+        other = Shard(tmp_path / "s")
+        other.append("a", line("a", "new"))
+        other.compact()
+        # The stale writer's next append must not touch the dead segment.
+        writer.append("b", line("b"))
+        fresh = Shard(tmp_path / "s")
+        assert fresh.get("a") == line("a", "new")
+        assert fresh.get("b") == line("b")
+        assert len(fresh) == 2
+
+    def test_reader_retries_after_foreign_compaction(self, tmp_path):
+        reader = Shard(tmp_path / "s")
+        reader.append("a", line("a"))
+        assert reader.get("a") == line("a")  # caches the segment fd
+        other = Shard(tmp_path / "s")
+        other.append("a", line("a", "2"))
+        other.compact()
+        reader_fresh = Shard(tmp_path / "s")
+        assert reader_fresh.get("a") == line("a", "2")
+        # The original reader notices the deleted segment and reloads.
+        assert reader.get("a") == line("a", "2")
+
+    def test_epoch_file_written_by_compaction(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append("a", line("a"))
+        assert not (shard.path / EPOCH_FILE).exists()
+        shard.compact()
+        assert int((shard.path / EPOCH_FILE).read_text()) >= 1
+
+
+class TestCorruptionAccounting:
+    def test_torn_tail_healed_and_counted(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append("a", line("a"))
+        seg = shard.segment_files()[0]
+        with open(seg, "ab") as fh:
+            fh.write(b'{"key": "half')
+        reopened = Shard(tmp_path / "s")
+        assert len(reopened) == 1
+        assert reopened.corrupt_seen == 1
+        assert seg.read_bytes() == line("a")  # fragment physically gone
+
+    def test_garbage_ratio(self, shard):
+        shard.append("a", line("a"))
+        assert shard.garbage_ratio == 0.0
+        shard.append("a", line("a", "2"))
+        assert shard.garbage_ratio == pytest.approx(0.5)
+        shard.compact()
+        assert shard.garbage_ratio == 0.0
+
+    def test_discard_counts_corrupt_not_superseded(self, shard):
+        shard.append("a", line("a"))
+        shard.discard("a")
+        assert len(shard) == 0
+        assert shard.corrupt_seen == 1
+        assert shard.superseded_current == 0
