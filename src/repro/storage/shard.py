@@ -11,13 +11,20 @@ A shard owns a directory with three kinds of files:
   detectable failure), never silently at the wrong record.
 * ``index.log`` — the persistent sidecar offset index: one tab-separated
   line per appended record (``json-escaped key, segment, offset, length,
-  timestamp``).  Warm open parses this file instead of the segments, so it
-  is O(index entries) with **no record decoding** — keys and offsets only.
-  The index is advisory: any byte range of a segment not covered by the
-  index is re-scanned on open (crash between record- and index-append), a
-  segment that shrank below its covered size triggers a full rebuild
-  (tampering/truncation), and a missing or unparseable ``index.log`` is
-  rebuilt from the segments.  Losing the index never loses data.
+  timestamp``), plus ``#cov`` coverage lines recording how many bytes of
+  each segment have been accounted for.  Warm open parses this file
+  instead of the segments, so it is O(index entries) with **no record
+  decoding** — keys and offsets only.  The index is advisory: any byte
+  range of a segment not covered by the index is re-scanned on open (crash
+  between record- and index-append), a segment that shrank below its
+  covered size triggers a full rebuild (tampering/truncation), and a
+  missing or unparseable ``index.log`` is rebuilt from the segments.
+  Losing the index never loses data.  Coverage lines exist because
+  coverage derived from record entries alone understates what has been
+  scanned: a rebuilt index holds only *live* entries, so a superseded
+  record at a segment's tail would sit beyond entry-derived coverage and
+  be re-scanned (and must then lose to the newer entry, never resurrect —
+  the scan only replaces an entry at an earlier ``(segment, offset)``).
 * ``epoch`` — a monotonically increasing integer, bumped by compaction and
   ``clear``.  Writers re-read it (under the shard lock) before each append
   and reload their in-memory state when it moved, so a process that cached
@@ -57,6 +64,10 @@ EPOCH_FILE = "epoch"
 #: First line of every index.log — identifies the format so a corrupted or
 #: foreign file is rebuilt rather than trusted.
 INDEX_MAGIC = "#repro-index v1"
+#: Marker for coverage lines (``#cov\t<segment>\t<bytes>``): bytes of a
+#: segment already scanned/accounted for, beyond what the record entries
+#: themselves imply.  Keys are JSON strings, so the marker cannot collide.
+COV_MARK = "#cov"
 
 
 class IndexEntry(NamedTuple):
@@ -124,10 +135,12 @@ class Shard:
     @property
     def garbage_lines(self) -> int:
         """Physical lines compaction would drop (superseded + corrupt)."""
+        self.ensure_loaded()
         return self.superseded_current + self._resident_corrupt
 
     @property
     def garbage_ratio(self) -> float:
+        self.ensure_loaded()
         total = len(self._entries) + self.garbage_lines
         return (self.garbage_lines / total) if total else 0.0
 
@@ -271,6 +284,15 @@ class Shard:
                         index_ok = True
                         for line in fh:
                             parts = line.rstrip("\n").split("\t")
+                            if parts[0] == COV_MARK:
+                                if len(parts) == 3:
+                                    try:
+                                        cseg, cend = int(parts[1]), int(parts[2])
+                                    except ValueError:
+                                        continue
+                                    if cend > covered.get(cseg, 0):
+                                        covered[cseg] = cend
+                                continue
                             if len(parts) != 5:
                                 continue  # torn tail line of the index itself
                             try:
@@ -283,7 +305,12 @@ class Shard:
                                 continue
                             if not isinstance(key, str):
                                 continue
-                            entries[key] = entry
+                            prev = entries.get(key)
+                            if prev is None or (entry.seg, entry.off) > (
+                                prev.seg,
+                                prev.off,
+                            ):
+                                entries[key] = entry
                             total += 1
                             end = entry.off + entry.length
                             if end > covered.get(entry.seg, 0):
@@ -322,14 +349,25 @@ class Shard:
                 scanned = True
                 for key, entry, raw_ok in self._scan_segment(n, start):
                     if raw_ok:
-                        entries[key] = entry
                         total += 1
-                        new_lines.append(self._index_line(key, entry))
+                        # A scanned line supersedes an indexed entry only
+                        # when it is *newer* — at a later (segment, offset).
+                        # A rebuilt index drops superseded tail lines from
+                        # coverage; re-scanning one must not resurrect it
+                        # over the live entry in a later segment.
+                        prev = entries.get(key)
+                        if prev is None or (entry.seg, entry.off) > (
+                            prev.seg,
+                            prev.off,
+                        ):
+                            entries[key] = entry
+                            new_lines.append(self._index_line(key, entry))
                     else:
                         self._resident_corrupt += 1
                         self._corrupt_seen += 1
                         self.counters.inc("corrupt")
                 covered[n] = sizes[n]
+                new_lines.append(self._cov_line(n, sizes[n]))
         if scanned and not rebuild:
             self.counters.inc("tail_scans")
 
@@ -426,10 +464,18 @@ class Shard:
             f"\t{entry.length}\t{entry.ts}\n"
         ).encode()
 
+    def _cov_line(self, seg: int, end: int) -> bytes:
+        return f"{COV_MARK}\t{seg}\t{end}\n".encode()
+
     def _rewrite_index_locked(self) -> None:
         tmp = self.path / f".{INDEX_FILE}.tmp"
         with io.open(tmp, "wb") as fh:
             fh.write((INDEX_MAGIC + "\n").encode())
+            # Record full scanned coverage, not just what the live entries
+            # imply: superseded/corrupt lines past the last live entry of a
+            # segment are already accounted for and must not be re-scanned.
+            for seg, end in sorted(self._covered.items()):
+                fh.write(self._cov_line(seg, end))
             for key, entry in sorted(
                 self._entries.items(), key=lambda kv: (kv[1].seg, kv[1].off)
             ):
@@ -473,7 +519,8 @@ class Shard:
                             seg_fh = None
                         self._active += 1
                         self._active_size = 0
-                        self.counters.inc("segments_created")
+                        # segments_created is counted when the file is
+                        # opened below (the rotated-to path never exists).
                     if seg_fh is None:
                         path = self._seg_path(self._active)
                         existed = path.exists()

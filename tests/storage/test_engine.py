@@ -134,3 +134,16 @@ class TestMinGarbageThreshold:
         engine.compact(min_garbage=0.3)
         assert engine.counters.get("compactions") == 1
         assert engine.garbage_ratio("results") == 0.0
+
+    def test_cold_open_compact_sees_garbage(self, tmp_path):
+        # The `cache compact` CLI opens the store and compacts immediately:
+        # unloaded shards must report their real garbage ratio, not 0.0.
+        warm = StorageEngine(tmp_path / "s", auto_compact=False)
+        for i in range(10):
+            warm.append("results", f"k{i}", {"key": f"k{i}"})
+            warm.append("results", f"k{i}", {"key": f"k{i}", "v": 2})
+        cold = StorageEngine(tmp_path / "s", auto_compact=False)
+        totals = cold.compact(min_garbage=0.3)
+        assert totals["kept"] == 10
+        assert totals["superseded"] == 10
+        assert cold.garbage_ratio("results") == 0.0

@@ -49,6 +49,14 @@ class TestRotation:
         for i in range(10):
             assert shard.get(f"k{i}") == line(f"k{i}", "x" * 50)
 
+    def test_segments_created_counts_files_once(self, tmp_path):
+        shard = Shard(tmp_path / "s", segment_bytes=200)
+        for i in range(10):
+            shard.append(f"k{i}", line(f"k{i}", "x" * 50))
+        assert shard.counters.get("segments_created") == len(
+            shard.segment_files()
+        )
+
     def test_segment_numbers_monotonic_across_compaction(self, tmp_path):
         shard = Shard(tmp_path / "s", segment_bytes=200)
         for i in range(10):
@@ -106,6 +114,29 @@ class TestIndexPersistence:
         assert reopened.get("a") == line("a")
         assert reopened.get("b") is None
         assert reopened.counters.get("rebuilds") == 1
+
+    def test_rebuild_does_not_resurrect_superseded_tail(self, tmp_path):
+        # A superseded copy of "k" ends segment 0; its live copy lives in
+        # segment 1.  A rebuilt index holds only live entries, so the stale
+        # tail sits beyond entry-derived coverage — the next open's tail
+        # scan must not let it win over the newer entry (and must not
+        # append a stale index line making the resurrection permanent).
+        seg_bytes = len(line("a")) + len(line("k", "old"))
+        shard = Shard(tmp_path / "s", segment_bytes=seg_bytes)
+        shard.append("a", line("a"))
+        shard.append("k", line("k", "old"))  # fills segment 0 to the brim
+        shard.append("b", line("b"))  # rotates to segment 1
+        shard.append("k", line("k", "new"))
+        assert len(shard.segment_files()) == 2
+        os.unlink(shard.path / INDEX_FILE)
+        rebuilt = Shard(tmp_path / "s", segment_bytes=seg_bytes)
+        assert rebuilt.get("k") == line("k", "new")
+        for _ in range(2):  # stays true across further reopens
+            reopened = Shard(tmp_path / "s", segment_bytes=seg_bytes)
+            assert reopened.get("k") == line("k", "new")
+            assert len(reopened) == 3
+        # Coverage lines persist the scanned tail: no rescan per open.
+        assert reopened.counters.get("tail_scans") == 0
 
     def test_garbage_index_lines_skipped(self, tmp_path):
         shard = Shard(tmp_path / "s")
