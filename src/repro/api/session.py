@@ -90,6 +90,12 @@ class Session:
         through :mod:`repro.batch` (results are bit-identical to scalar
         execution, so this is on by default); ``True`` — batch every
         eligible group, even singletons; ``False`` — always scalar.
+    backend:
+        Array backend for the batched kernels: ``"auto"`` (numba when
+        importable, else numpy), ``"numpy"``, ``"numba"`` (clean fallback
+        to numpy when numba is absent), or ``None`` to defer to the
+        ``REPRO_BACKEND`` environment variable.  Backends are
+        bit-identical, so this only affects speed.
 
     A storeless serial session is the cheapest way to execute specs
     programmatically; identical scenarios are deduplicated per session run
@@ -120,6 +126,7 @@ class Session:
         baseline_cache: Optional[Dict[BaselineKey, ExpansionEstimate]] = None,
         refresh: bool = False,
         batch: Union[str, bool] = "auto",
+        backend: Optional[str] = None,
     ) -> None:
         if store is None or isinstance(store, ResultStore):
             self.store = store
@@ -132,6 +139,10 @@ class Session:
                 f"batch must be 'auto', True or False, got {batch!r}"
             )
         self.batch = batch
+        from ..backend import resolve_backend  # validates the name eagerly
+
+        self.backend = backend
+        self._backend = resolve_backend(backend)
         self._baselines = baseline_cache if baseline_cache is not None else {}
         #: Scenarios served from the store / actually executed, cumulatively.
         self.hits = 0
@@ -290,10 +301,64 @@ class Session:
             baseline = self._baselines[baseline_key(missing_specs[0])]
             for (i, _), result in zip(
                 missing,
-                _batch_engine.run_trials(missing_specs, baseline=baseline),
+                _batch_engine.run_trials(
+                    missing_specs, baseline=baseline, backend=self._backend
+                ),
             ):
                 self._record(result)
                 results[i] = result
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def run_points_batched(
+        self, groups: List[List[ScenarioSpec]]
+    ) -> List[List[RunResult]]:
+        """Execute several compatible grid points as stacked batches.
+
+        ``groups`` holds one homogeneous spec list per grid point; all
+        groups must share a :func:`repro.batch.engine.stack_key` (same
+        graph + analysis; fault models may differ).  Store semantics match
+        :meth:`run_trials_batched` per group — cached trials are served
+        without execution, the rest are evaluated by **one**
+        :func:`repro.batch.engine.run_points` call stacking every group's
+        missing trials into shared mask tensors — and each record is
+        bit-identical to the per-point path, so sweep fingerprints are
+        unchanged.  Returns one result list per group, in input order.
+        """
+        from ..batch import engine as _batch_engine  # late: batch builds on api
+
+        group_lists = [_validate_specs(g) for g in groups]
+        results: List[List[Optional[RunResult]]] = []
+        missing: List[Tuple[int, List[int], List[ScenarioSpec]]] = []
+        n_specs = 0
+        n_missing = 0
+        for gi, spec_list in enumerate(group_lists):
+            slots: List[Optional[RunResult]] = []
+            idxs: List[int] = []
+            for i, spec in enumerate(spec_list):
+                cached = self.lookup(spec)
+                slots.append(cached)
+                if cached is None:
+                    idxs.append(i)
+            results.append(slots)
+            n_specs += len(spec_list)
+            if idxs:
+                missing.append((gi, idxs, [spec_list[i] for i in idxs]))
+                n_missing += len(idxs)
+        self.hits += n_specs - n_missing
+        self.misses += n_missing
+        if missing:
+            flat = [spec for _, _, specs in missing for spec in specs]
+            self._ensure_baselines(flat)
+            baseline = self._baselines[baseline_key(flat[0])]
+            computed = _batch_engine.run_points(
+                [specs for _, _, specs in missing],
+                baseline=baseline,
+                backend=self._backend,
+            )
+            for (gi, idxs, _), group_results in zip(missing, computed):
+                for i, result in zip(idxs, group_results):
+                    self._record(result)
+                    results[gi][i] = result
         return results  # type: ignore[return-value]  # every slot is filled
 
     # -- conveniences ---------------------------------------------------- #

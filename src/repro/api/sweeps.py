@@ -936,8 +936,12 @@ def execute_units(
     Units arrive grouped contiguously by point (that is how allocation
     builds them), and all trials of one point share (graph, fault,
     analysis) by construction — exactly the shape
-    :meth:`Session.run_trials_batched` requires.  Eligible groups go
-    through the batched engine; everything else is dispatched as one
+    :meth:`Session.run_trials_batched` requires.  Point groups sharing a
+    :func:`repro.batch.engine.stack_key` (same graph + analysis) are
+    *stacked* — all their trials evaluated as one
+    :meth:`Session.run_points_batched` call, so a multi-point grid over
+    one graph pays graph resolution and kernel setup once per round
+    instead of once per point.  Everything else is dispatched as one
     scalar :meth:`Session.run_iter` call (so process fan-out still covers
     the whole scalar remainder).  Results come back in unit order either
     way, and are bit-identical across strategies, so aggregation and
@@ -949,24 +953,39 @@ def execute_units(
 
     out: List[Optional[RunResult]] = [None] * len(units)
     scalar_positions: List[int] = []
+    stacks: Dict[str, List[List[int]]] = {}
+    stack_order: List[str] = []
     start = 0
     while start < len(units):
         end = start
         while end < len(units) and units[end][0] == units[start][0]:
             end += 1
-        group = range(start, end)
-        eligible = _batch_engine.supports(specs[start]) and (
-            batch_mode is True or len(group) > 1
-        )
-        if eligible:
-            for pos, result in zip(
-                group, sess.run_trials_batched([specs[p] for p in group])
-            ):
-                out[pos] = result
-        else:
+        group = list(range(start, end))
+        key = _batch_engine.stack_key(specs[start])
+        if key is None:
             scalar_positions.extend(group)
+        else:
+            if key not in stacks:
+                stack_order.append(key)
+            stacks.setdefault(key, []).append(group)
         start = end
+    for key in stack_order:
+        groups = stacks[key]
+        n_units = sum(len(g) for g in groups)
+        # in auto mode a lone single-trial group is not worth the batch
+        # setup — keep it on the scalar path, as before multi-point
+        # stacking existed
+        if batch_mode is True or n_units > 1:
+            for group, group_results in zip(
+                groups,
+                sess.run_points_batched([[specs[p] for p in g] for g in groups]),
+            ):
+                for pos, result in zip(group, group_results):
+                    out[pos] = result
+        else:
+            scalar_positions.extend(groups[0])
     if scalar_positions:
+        scalar_positions.sort()
         for pos, result in zip(
             scalar_positions,
             sess.run_iter([specs[p] for p in scalar_positions]),

@@ -1,0 +1,97 @@
+"""Numba backend: JIT-compiled per-trial flood fill (optional).
+
+When ``numba`` is importable, connected components are labelled by an
+``@njit``-compiled depth-first flood fill that visits each trial's alive
+subgraph once — O(T·(n + m)) total work versus Shiloach–Vishkin's
+O(rounds·T·m) — with no per-round temporaries.  Seeds are taken in
+ascending node-id order, so every flooded component is labelled by its
+smallest alive member: exactly the canonical labelling the numpy backend
+converges to, making the two backends bit-identical by construction.
+
+The import is gated: on machines without numba this module still imports
+cleanly, :func:`available` reports ``False``, and
+:func:`repro.backend.resolve_backend` falls back to numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import Backend
+
+__all__ = ["NumbaBackend", "BACKEND", "available"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the no-numba default environment
+    _numba = None
+
+_flood_labels = None
+
+
+def available() -> bool:
+    """Whether the numba backend can be used in this environment."""
+    return _numba is not None
+
+
+def _compile():  # pragma: no cover - requires numba
+    """Compile the flood-fill kernel lazily (first kernel call pays it)."""
+    global _flood_labels
+    if _flood_labels is not None:
+        return _flood_labels
+
+    @_numba.njit(cache=True)
+    def flood_labels(indptr, indices, alive, keep, has_keep, labels, stack):
+        T, n = alive.shape
+        for t in range(T):
+            for seed in range(n):
+                if not alive[t, seed] or labels[t, seed] != -1:
+                    continue
+                # seeds are visited in ascending id order, so `seed` is
+                # the smallest alive id of its component: the canonical
+                # label
+                labels[t, seed] = seed
+                top = 0
+                stack[top] = seed
+                top = 1
+                while top > 0:
+                    top -= 1
+                    u = stack[top]
+                    for s in range(indptr[u], indptr[u + 1]):
+                        if has_keep and not keep[t, s]:
+                            continue
+                        w = indices[s]
+                        if alive[t, w] and labels[t, w] == -1:
+                            labels[t, w] = seed
+                            stack[top] = w
+                            top += 1
+        return labels
+
+    _flood_labels = flood_labels
+    return _flood_labels
+
+
+class NumbaBackend(Backend):
+    """Per-trial flood fill compiled with numba."""
+
+    name = "numba"
+
+    def connected_labels(
+        self, graph, alive: np.ndarray, keep: Optional[np.ndarray]
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        kernel = _compile()
+        T, n = alive.shape
+        labels = np.full((T, n), -1, dtype=np.int64)
+        stack = np.empty(max(n, 1), dtype=np.int64)
+        has_keep = keep is not None
+        if keep is None:
+            keep = np.empty((1, 1), dtype=np.bool_)
+        alive = np.ascontiguousarray(alive)
+        keep = np.ascontiguousarray(keep)
+        return kernel(graph.indptr, graph.indices, alive, keep, has_keep,
+                      labels, stack)
+
+
+BACKEND = NumbaBackend()

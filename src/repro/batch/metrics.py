@@ -29,14 +29,18 @@ def batched_gamma(
     alive: np.ndarray,
     *,
     edge_alive: Optional[np.ndarray] = None,
+    backend: Optional[object] = None,
 ) -> np.ndarray:
     """``γ`` per trial — largest surviving-component fraction relative to
     the original node count (paper §1.1), shape ``(T,)``.
 
     Matches the scalar percolation trials exactly: ``0.0`` for ``n = 0``
     or an all-dead row, ``1/n`` when the survivors are all isolated.
+    ``backend`` selects the kernel backend (results are identical).
     """
-    return batched_largest_component_fraction(graph, alive, edge_alive=edge_alive)
+    return batched_largest_component_fraction(
+        graph, alive, edge_alive=edge_alive, backend=backend
+    )
 
 
 def batched_set_expansion(
@@ -69,7 +73,7 @@ def batched_set_expansion(
     # edge mode: count directed slots u→v with u ∈ S, v ∉ S — each cut
     # edge contributes exactly one such slot.
     if graph.indices.size:
-        src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+        src = graph.index.slot_src
         cut = (masks[:, src] & ~masks[:, graph.indices]).sum(axis=1, dtype=np.int64)
     else:
         cut = np.zeros(T, dtype=np.int64)

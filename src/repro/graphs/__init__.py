@@ -10,6 +10,7 @@ from .connectivity import (
     node_connectivity_between,
 )
 from .graph import Graph, neighbors_of_many
+from .index import GraphIndex
 from .ops import (
     as_indices,
     as_mask,
@@ -40,6 +41,7 @@ from .traversal import (
 
 __all__ = [
     "Graph",
+    "GraphIndex",
     "neighbors_of_many",
     "generators",
     "edge_connectivity_between",

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import InvalidGraphError
 from ..util.validation import check_node_array
+from .index import GraphIndex
 
 __all__ = ["Graph", "neighbors_of_many"]
 
@@ -52,7 +53,7 @@ class Graph:
         Generators that construct CSR arrays directly may skip it.
     """
 
-    __slots__ = ("indptr", "indices", "name", "coords", "original_ids", "_degree")
+    __slots__ = ("indptr", "indices", "name", "coords", "original_ids", "_index")
 
     def __init__(
         self,
@@ -73,7 +74,7 @@ class Graph:
             self.original_ids = np.arange(n, dtype=np.int64)
         else:
             self.original_ids = np.ascontiguousarray(original_ids, dtype=np.int64)
-        self._degree: Optional[np.ndarray] = None
+        self._index: Optional[GraphIndex] = None
         if validate:
             self._validate()
 
@@ -147,11 +148,18 @@ class Graph:
         return int(self.indices.shape[0] // 2)
 
     @property
+    def index(self) -> GraphIndex:
+        """The graph's :class:`~repro.graphs.index.GraphIndex` — lazily
+        created, then shared with every :meth:`renamed`/:meth:`detached`
+        copy so derived views are computed once per CSR pair."""
+        if self._index is None:
+            self._index = GraphIndex(self.indptr, self.indices)
+        return self._index
+
+    @property
     def degrees(self) -> np.ndarray:
-        """Per-node degree array (cached)."""
-        if self._degree is None:
-            self._degree = np.diff(self.indptr)
-        return self._degree
+        """Per-node degree array (cached on the index; read-only)."""
+        return self.index.degrees
 
     @property
     def max_degree(self) -> int:
@@ -174,10 +182,12 @@ class Graph:
         return bool(i < nbrs.shape[0] and nbrs[i] == v)
 
     def edge_array(self) -> np.ndarray:
-        """All edges as an ``(m, 2)`` array with ``u < v`` per row."""
-        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
-        mask = src < self.indices
-        return np.column_stack([src[mask], self.indices[mask]])
+        """All edges as an ``(m, 2)`` array with ``u < v`` per row.
+
+        Cached on the :attr:`index` and returned read-only; copy before
+        mutating.
+        """
+        return self.index.edge_array
 
     def is_regular(self) -> bool:
         """Whether every node has the same degree."""
@@ -199,7 +209,7 @@ class Graph:
         # new id for each kept node; -1 elsewhere
         relabel = np.full(self.n, -1, dtype=np.int64)
         relabel[keep] = np.arange(keep.shape[0], dtype=np.int64)
-        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        src = self.index.slot_src
         edge_keep = mask[src] & mask[self.indices]
         new_src = relabel[src[edge_keep]]
         new_dst = relabel[self.indices[edge_keep]]
@@ -226,9 +236,12 @@ class Graph:
         return self.subgraph(np.flatnonzero(mask))
 
     def renamed(self, name: str) -> "Graph":
-        """Shallow copy with a different ``name`` (arrays are shared)."""
-        return Graph(self.indptr, self.indices, name=name, coords=self.coords,
-                     original_ids=self.original_ids, validate=False)
+        """Shallow copy with a different ``name`` (arrays are shared, and
+        so is the :attr:`index`)."""
+        g = Graph(self.indptr, self.indices, name=name, coords=self.coords,
+                  original_ids=self.original_ids, validate=False)
+        g._index = self.index
+        return g
 
     def detached(self, *, name: Optional[str] = None) -> "Graph":
         """Shallow copy that *resets* ``original_ids`` to the identity.
@@ -237,8 +250,10 @@ class Graph:
         (e.g. the CAN overlay deleting surplus torus zones) must detach the
         result so the provenance chain starts at the graph the caller sees.
         """
-        return Graph(self.indptr, self.indices, name=name or self.name,
-                     coords=self.coords, original_ids=None, validate=False)
+        g = Graph(self.indptr, self.indices, name=name or self.name,
+                  coords=self.coords, original_ids=None, validate=False)
+        g._index = self.index
+        return g
 
     # ------------------------------------------------------------------ #
     # dunder / diagnostics
@@ -274,10 +289,13 @@ class Graph:
         src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
         if np.any(src == indices):
             raise InvalidGraphError("self-loops are not allowed")
-        # neighbour lists sorted & duplicate-free
-        for v in range(n):
-            row = indices[indptr[v]: indptr[v + 1]]
-            if row.size > 1 and np.any(row[1:] <= row[:-1]):
+        # neighbour lists sorted & duplicate-free: adjacent slots belonging
+        # to the same row must strictly increase (one O(2m) vector pass)
+        if indices.shape[0] > 1:
+            same_row = src[1:] == src[:-1]
+            bad = same_row & (indices[1:] <= indices[:-1])
+            if np.any(bad):
+                v = int(src[:-1][bad][0])
                 raise InvalidGraphError(f"neighbour list of node {v} not strictly sorted")
         # symmetry: edge (u,v) implies (v,u); compare canonical multisets
         lo = np.minimum(src, indices)

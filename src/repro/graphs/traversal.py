@@ -296,16 +296,10 @@ def _directed_slot_pairs(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
 
     Returns ``(fwd, rev)`` of length ``m`` where ``fwd[k]``/``rev[k]`` are
     the flat CSR positions of edge ``k`` (in :meth:`Graph.edge_array`
-    order) as ``u→v`` and ``v→u`` respectively.
+    order) as ``u→v`` and ``v→u`` respectively.  Cached on the graph's
+    :class:`~repro.graphs.index.GraphIndex`.
     """
-    n = graph.n
-    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
-    fwd = np.flatnonzero(src < graph.indices)
-    # CSR order sorts directed edges by (src, dst), so the key array is
-    # ascending and the reverse copy is found by binary search.
-    key = src * np.int64(max(n, 1)) + graph.indices
-    rev = np.searchsorted(key, graph.indices[fwd] * np.int64(max(n, 1)) + src[fwd])
-    return fwd, rev
+    return graph.index.directed_slot_pairs
 
 
 def batched_connected_components(
@@ -313,6 +307,7 @@ def batched_connected_components(
     alive: Optional[np.ndarray] = None,
     *,
     edge_alive: Optional[np.ndarray] = None,
+    backend: Optional[object] = None,
 ) -> np.ndarray:
     """Connected-component labels for ``T`` masked trials at once.
 
@@ -326,6 +321,11 @@ def batched_connected_components(
         :meth:`Graph.edge_array` order (bond trials).  Composable with
         ``alive``: an edge conducts only if it survived *and* both its
         endpoints are alive.
+    backend:
+        Backend selector forwarded to
+        :func:`repro.backend.resolve_backend` (``None`` → environment
+        default).  Every backend produces the same canonical labels, so
+        this only affects speed.
 
     Returns
     -------
@@ -335,16 +335,12 @@ def batched_connected_components(
         dead nodes get ``-1``.  ``T = 0`` / ``n = 0`` produce empty
         results of the right shape.
 
-    Implementation: Shiloach–Vishkin-style label propagation.  Each round
-    (1) takes the minimum label over every surviving edge via one
-    ``(T, 2m)`` gather + ``minimum.reduceat``, (2) *hooks the roots* — a
-    node that just learned a smaller label scatters it onto its old root,
-    so whole clusters merge per round instead of single hops — and
-    (3) pointer-jumps ``label ← label[label]`` to a fixpoint, which
-    compresses chains exponentially.  Convergence is O(log n)-ish rounds
-    (measured: 4–6 on near-critical percolation masks whose plain
-    hash-min needs ~diameter rounds), every round a handful of
-    whole-matrix numpy ops regardless of T.
+    Validation, the ``edge_alive`` → directed-slot expansion and the
+    degenerate cases live here; the hot labelling loop is delegated to
+    the resolved :mod:`repro.backend` implementation (Shiloach–Vishkin
+    over whole matrices for numpy, a JIT-compiled per-trial flood fill
+    for numba).  Both produce the canonical labels above, so backend
+    choice never changes results.
     """
     if alive is None:
         if edge_alive is None:
@@ -356,7 +352,6 @@ def batched_connected_components(
     alive = _check_alive_matrix(graph, alive)
     n = graph.n
     T = alive.shape[0]
-    sent = np.int64(n)  # sentinel label: "no alive node"
     keep = None
     if edge_alive is not None:
         edge_alive = np.asarray(edge_alive)
@@ -375,58 +370,9 @@ def batched_connected_components(
     if T == 0 or n == 0 or graph.indices.size == 0:
         labels = np.where(alive, np.arange(n, dtype=np.int64)[None, :], np.int64(n))
         return np.where(alive, labels, np.int64(-1))
-    # labels are node ids < n, so a compact dtype halves the memory
-    # traffic of the per-round gathers (the hot cost at sweep scale)
-    dtype = np.int32 if n + 1 <= np.iinfo(np.int32).max else np.int64
-    sent = dtype(n)
-    labels = np.where(alive, np.arange(n, dtype=dtype)[None, :], sent)
-    # reduceat needs every segment start in range, and a degree-0 node's
-    # empty segment would otherwise swallow part of its neighbour's.  One
-    # identity column appended to the gather keeps the starts untouched;
-    # whatever reduceat reports for empty segments is overwritten below.
-    starts = graph.indptr[:-1]
-    isolated = graph.degrees == 0
-    m2 = graph.indices.shape[0]
-    rows = np.arange(T)[:, None]
-    padded = np.empty((T, n + 1), dtype=dtype)
-    gathered = np.empty((T, m2 + 1), dtype=dtype)
-    gathered[:, m2] = sent
-    while True:
-        padded[:, :n] = labels
-        padded[:, n] = sent
-        gathered[:, :m2] = padded[:, graph.indices]  # neighbour labels
-        if keep is not None:
-            gathered[:, :m2][~keep] = sent
-        nbr_min = np.minimum.reduceat(gathered, starts, axis=1)
-        if isolated.any():
-            nbr_min[:, isolated] = sent
-        new = np.minimum(labels, nbr_min)
-        new = np.where(alive, new, sent)
-        # hook the roots: a node that just learned a smaller label scatters
-        # it onto its *old* root, so the whole old cluster can follow in
-        # this round's jumps instead of one hop per round
-        updated = new != labels
-        if updated.any():
-            t_idx, v_idx = np.nonzero(updated)
-            old_roots = labels[t_idx, v_idx].astype(np.int64)
-            flat = t_idx * np.int64(n + 1) + old_roots
-            padded[:, :n] = new
-            padded[:, n] = sent
-            np.minimum.at(padded.ravel(), flat, new[t_idx, v_idx])
-            new = np.where(alive, padded[:, :n], sent)
-        # pointer jump to a fixpoint: each pass composes the label map with
-        # itself, so chains shorten geometrically
-        while True:
-            padded[:, :n] = new
-            padded[:, n] = sent
-            jumped = np.where(alive, padded[rows, new], sent)
-            if np.array_equal(jumped, new):
-                break
-            new = jumped
-        if np.array_equal(new, labels):
-            break
-        labels = new
-    return np.where(alive, labels.astype(np.int64), np.int64(-1))
+    from ..backend import resolve_backend
+
+    return resolve_backend(backend).connected_labels(graph, alive, keep)
 
 
 def batched_component_stats(labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -460,6 +406,7 @@ def batched_largest_component_fraction(
     alive: np.ndarray,
     *,
     edge_alive: Optional[np.ndarray] = None,
+    backend: Optional[object] = None,
 ) -> np.ndarray:
     """``γ`` per trial: largest alive-component size over the *original*
     node count (the paper's §1.1 normalisation), as a ``(T,)`` float array.
@@ -470,7 +417,9 @@ def batched_largest_component_fraction(
     alive = _check_alive_matrix(graph, alive)
     if graph.n == 0:
         return np.zeros(alive.shape[0], dtype=np.float64)
-    labels = batched_connected_components(graph, alive, edge_alive=edge_alive)
+    labels = batched_connected_components(
+        graph, alive, edge_alive=edge_alive, backend=backend
+    )
     _, largest = batched_component_stats(labels)
     return largest / float(graph.n)
 
@@ -509,8 +458,8 @@ def batched_bfs_distances(
     dist[frontier] = 0
     if T == 0 or n == 0 or graph.indices.size == 0 or not frontier.any():
         return dist
-    starts = graph.indptr[:-1]
-    isolated = graph.degrees == 0
+    idx = graph.index
+    starts = idx.starts
     m2 = graph.indices.shape[0]
     gathered = np.zeros((T, m2 + 1), dtype=bool)  # identity column at m2
     level = 0
@@ -518,8 +467,8 @@ def batched_bfs_distances(
         level += 1
         gathered[:, :m2] = frontier[:, graph.indices]  # neighbour-in-frontier
         reached = np.logical_or.reduceat(gathered, starts, axis=1)
-        if isolated.any():
-            reached[:, isolated] = False
+        if idx.has_isolated:
+            reached[:, idx.isolated] = False
         fresh = reached & alive & (dist == UNREACHED)
         if not fresh.any():
             break
@@ -551,14 +500,13 @@ def batched_boundary_masks(
     T, n = masks.shape
     if T == 0 or n == 0 or graph.indices.size == 0:
         return np.zeros((T, n), dtype=bool)
-    starts = graph.indptr[:-1]
-    isolated = graph.degrees == 0
+    idx = graph.index
     m2 = graph.indices.shape[0]
     gathered = np.zeros((T, m2 + 1), dtype=bool)  # identity column at m2
     gathered[:, :m2] = inside[:, graph.indices]
-    reached = np.logical_or.reduceat(gathered, starts, axis=1)
-    if isolated.any():
-        reached[:, isolated] = False
+    reached = np.logical_or.reduceat(gathered, idx.starts, axis=1)
+    if idx.has_isolated:
+        reached[:, idx.isolated] = False
     boundary = reached & ~inside
     if alive is not None:
         boundary &= alive

@@ -63,13 +63,18 @@ class SchedulerError(ReproError):
 
 @dataclass
 class Job:
-    """One schedulable slice of a sweep round: a grid point's trial range."""
+    """One schedulable slice of a sweep round.
+
+    ``segments`` is an ordered list of ``(point index, first trial,
+    n trials)`` ranges — one for a plain per-point job (the default), or
+    several when point merging stacked compatible grid points into one
+    dispatch (see :class:`Scheduler` ``merge_points``).  Workers execute
+    the segments in order and return one flat result list.
+    """
 
     id: str
     sweep_id: str
-    point_index: int
-    trial_start: int
-    n_trials: int
+    segments: List[Tuple[int, int, int]]
     priority: Tuple[int, int, int]
     state: str = "queued"  # queued | dispatched | done | stale
     attempts: int = 0
@@ -82,6 +87,24 @@ class Job:
         """The dispatch token a worker echoes back; the generation suffix
         lets the scheduler drop completions of superseded attempts."""
         return f"{self.id}:{self.generation}"
+
+    # Single-segment conveniences (every job before point merging existed
+    # had exactly one segment; tests and logs read these):
+
+    @property
+    def point_index(self) -> int:
+        """First segment's grid-point index."""
+        return self.segments[0][0]
+
+    @property
+    def trial_start(self) -> int:
+        """First segment's first trial."""
+        return self.segments[0][1]
+
+    @property
+    def n_trials(self) -> int:
+        """Total trials across every segment."""
+        return sum(seg[2] for seg in self.segments)
 
 
 @dataclass
@@ -124,6 +147,17 @@ class Scheduler:
         Upper bound on trials per job; ``None`` keeps one job per grid-point
         request (the natural unit).  Splitting only changes scheduling
         granularity — fold order, and therefore results, are unaffected.
+    merge_points:
+        When true, a round's requests for grid points sharing a
+        :func:`repro.batch.engine.stack_key` (same graph + analysis) are
+        merged into multi-segment jobs, so one worker evaluates all their
+        trials as stacked mask tensors
+        (:func:`~repro.api.sweeps.execute_units` →
+        :meth:`Session.run_points_batched`).  Merged segments respect
+        ``job_chunk`` as a total-trials bound per job.  Folding stays in
+        request order, so results and fingerprints are unchanged — this is
+        purely a dispatch-granularity/throughput knob (default off; the
+        service turns it on).
     """
 
     def __init__(
@@ -133,6 +167,7 @@ class Scheduler:
         *,
         max_attempts: int = 3,
         job_chunk: Optional[int] = None,
+        merge_points: bool = False,
         clock=time.time,
     ) -> None:
         if max_attempts < 1:
@@ -143,6 +178,7 @@ class Scheduler:
         self.counters = counters if counters is not None else Counters()
         self.max_attempts = max_attempts
         self.job_chunk = job_chunk
+        self.merge_points = merge_points
         self.draining = False
         self._clock = clock
         self._lock = threading.RLock()
@@ -410,28 +446,25 @@ class Scheduler:
             entry.round_jobs = []
             entry.payloads = {}
             enqueued = False
-            for point_index, start, n in requests:
-                for chunk_start, chunk_n in self._chunks(start, n):
-                    job = Job(
-                        id=f"j{next(self._job_seq)}",
-                        sweep_id=entry.id,
-                        point_index=point_index,
-                        trial_start=chunk_start,
-                        n_trials=chunk_n,
-                        priority=(entry.priority, entry.seq, next(self._job_seq)),
-                    )
-                    self._jobs[job.id] = job
-                    entry.round_jobs.append(job.id)
-                    warm = self._warm_results(entry, job)
-                    if warm is not None:
-                        job.state = "done"
-                        entry.payloads[job.id] = warm
-                        entry.store_hits += job.n_trials
-                        self.counters.inc("jobs_warm_total")
-                        self.counters.inc("store_hits_total", job.n_trials)
-                    else:
-                        heapq.heappush(self._heap, (job.priority, job.id))
-                        enqueued = True
+            for segments in self._job_segments(entry, requests):
+                job = Job(
+                    id=f"j{next(self._job_seq)}",
+                    sweep_id=entry.id,
+                    segments=segments,
+                    priority=(entry.priority, entry.seq, next(self._job_seq)),
+                )
+                self._jobs[job.id] = job
+                entry.round_jobs.append(job.id)
+                warm = self._warm_results(entry, job)
+                if warm is not None:
+                    job.state = "done"
+                    entry.payloads[job.id] = warm
+                    entry.store_hits += job.n_trials
+                    self.counters.inc("jobs_warm_total")
+                    self.counters.inc("store_hits_total", job.n_trials)
+                else:
+                    heapq.heappush(self._heap, (job.priority, job.id))
+                    enqueued = True
             if enqueued:
                 return
             self._fold_round(entry)  # fully warm: fold and loop to next round
@@ -441,12 +474,64 @@ class Scheduler:
         for s in range(start, start + n, step):
             yield s, min(step, start + n - s)
 
+    def _job_segments(
+        self, entry: SweepEntry, requests: List[Tuple[int, int, int]]
+    ) -> List[List[Tuple[int, int, int]]]:
+        """Turn one round's requests into per-job segment lists.
+
+        Without merging: one single-segment job per ``job_chunk`` slice of
+        each request (the historical shape).  With merging: requests whose
+        grid points share a stack key are packed together, ``job_chunk``
+        bounding the *total* trials per merged job.  Request order is
+        preserved within each merged job and across jobs, and
+        :meth:`_fold_round` folds per segment, so results are unchanged.
+        """
+        chunked: List[Tuple[Optional[str], List[Tuple[int, int, int]]]] = []
+        if self.merge_points:
+            from ..batch import engine as _batch_engine
+
+            keys: Dict[int, Optional[str]] = {}
+            for point_index, start, n in requests:
+                if point_index not in keys:
+                    keys[point_index] = _batch_engine.stack_key(
+                        entry.driver.points[point_index].spec
+                    )
+                key = keys[point_index]
+                for chunk in self._chunks(start, n):
+                    chunked.append((key, [(point_index, *chunk)]))
+        else:
+            for point_index, start, n in requests:
+                for chunk in self._chunks(start, n):
+                    chunked.append((None, [(point_index, *chunk)]))
+            return [segments for _, segments in chunked]
+        # greedy pack: consecutive same-key slices merge while the total
+        # stays under job_chunk (unbounded when job_chunk is None)
+        packed: List[List[Tuple[int, int, int]]] = []
+        open_jobs: Dict[str, int] = {}  # stack key -> index into packed
+        for key, segments in chunked:
+            if key is None:
+                packed.append(segments)
+                continue
+            at = open_jobs.get(key)
+            if at is not None:
+                total = sum(s[2] for s in packed[at]) + segments[0][2]
+                if self.job_chunk is None or total <= self.job_chunk:
+                    packed[at].extend(segments)
+                    continue
+            open_jobs[key] = len(packed)
+            packed.append(segments)
+        return packed
+
     def _warm_results(self, entry: SweepEntry, job: Job) -> Optional[List[RunResult]]:
         if self.store is None:
             return None
-        point = entry.driver.points[job.point_index]
-        trials = range(job.trial_start, job.trial_start + job.n_trials)
-        specs = [entry.spec.trial_spec(point, t) for t in trials]
+        specs = []
+        for point_index, trial_start, n in job.segments:
+            point = entry.driver.points[point_index]
+            specs.extend(
+                entry.spec.trial_spec(point, t)
+                for t in range(trial_start, trial_start + n)
+            )
         # Two phases: membership first — an O(1) index probe per trial, no
         # record decoded — so a cold job is rejected without touching any
         # segment file; only a fully-present job pays the decode cost.
@@ -469,9 +554,13 @@ class Scheduler:
         """Fold the buffered round in request order (the determinism rule)."""
         for jid in entry.round_jobs:
             job = self._jobs.pop(jid)
-            for offset, result in enumerate(entry.payloads[jid]):
-                entry.driver.fold(job.point_index, job.trial_start + offset, result)
-                self.counters.inc("trials_total")
+            payload = entry.payloads[jid]
+            pos = 0
+            for point_index, trial_start, n in job.segments:
+                for offset in range(n):
+                    entry.driver.fold(point_index, trial_start + offset, payload[pos])
+                    pos += 1
+                    self.counters.inc("trials_total")
         entry.round_jobs = []
         entry.payloads = {}
 

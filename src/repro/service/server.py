@@ -56,10 +56,14 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral (the bound port is SweepService.port)
     batch: Union[str, bool] = "auto"
+    backend: str = "auto"
     job_timeout: float = 300.0
     max_attempts: int = 3
     heartbeat_interval: float = 1.0
     job_chunk: Optional[int] = None
+    #: Merge compatible grid points into multi-segment jobs (stacked
+    #: kernel calls on the worker); results are unaffected.
+    merge_points: bool = True
     fsync: bool = False
     drain_timeout: float = 30.0
     #: Service-loop tick (event pump timeout); tests shrink it.
@@ -98,6 +102,7 @@ class SweepService:
             self.counters,
             max_attempts=config.max_attempts,
             job_chunk=config.job_chunk,
+            merge_points=config.merge_points,
         )
         self.started_at: Optional[float] = None
         self._ctx = multiprocessing.get_context("spawn")
@@ -214,6 +219,7 @@ class SweepService:
                 {
                     "store": str(self.config.store),
                     "batch": self.config.batch,
+                    "backend": self.config.backend,
                     "fsync": self.config.fsync,
                     "heartbeat_interval": self.config.heartbeat_interval,
                 },
@@ -331,15 +337,7 @@ class SweepService:
             handle.job_key = job.key
             handle.job_id = job.id
             handle.dispatched_at = time.time()
-            handle.queue.put(
-                (
-                    job.key,
-                    spec_dict,
-                    job.point_index,
-                    job.trial_start,
-                    job.n_trials,
-                )
-            )
+            handle.queue.put((job.key, spec_dict, list(job.segments)))
 
     # -- HTTP payload helpers -------------------------------------------- #
 

@@ -4,8 +4,10 @@ Each worker is a separate OS process (spawned, not forked — the server is
 multi-threaded, and forking a threaded process inherits arbitrary lock
 state).  The protocol is deliberately tiny:
 
-* the server pushes ``(job key, sweep spec dict, point index, first trial,
-  n trials)`` tuples onto the worker's private job queue — one queue per
+* the server pushes ``(job key, sweep spec dict, segments)`` tuples onto
+  the worker's private job queue — ``segments`` an ordered list of
+  ``(point index, first trial, n trials)`` ranges, several when the
+  scheduler merged compatible grid points into one job — one queue per
   worker, so crash attribution is exact — and ``None`` as the drain
   sentinel;
 * the worker executes each job through a long-lived
@@ -45,7 +47,12 @@ def _build_session(config: Dict[str, Any]):
     from ..api.store import ResultStore
 
     store = ResultStore(config["store"], fsync=bool(config.get("fsync", False)))
-    return Session(store=store, workers=1, batch=config.get("batch", "auto"))
+    return Session(
+        store=store,
+        workers=1,
+        batch=config.get("batch", "auto"),
+        backend=config.get("backend"),
+    )
 
 
 def worker_main(
@@ -57,7 +64,8 @@ def worker_main(
     """Run the worker loop until the ``None`` sentinel arrives.
 
     ``config`` keys: ``store`` (shared store directory), ``batch``
-    (execution strategy, as :class:`Session` accepts), ``fsync`` (durable
+    (execution strategy, as :class:`Session` accepts), ``backend`` (kernel
+    backend selector, as :class:`Session` accepts), ``fsync`` (durable
     appends), ``heartbeat_interval`` (seconds).
     """
     from ..api.sweeps import SweepSpec, execute_units
@@ -88,7 +96,7 @@ def worker_main(
             continue
         if message is None:
             break
-        job_key, sweep_dict, point_index, trial_start, n_trials = message
+        job_key, sweep_dict, segments = message
         current["job"] = job_key
         try:
             sweep_hash = sweep_dict.get("__hash__")
@@ -99,12 +107,12 @@ def worker_main(
                 cached = (sweep, sweep.points())
                 sweeps[sweep_hash or sweep.hash()] = cached
             sweep, points = cached
-            point = points[point_index]
             units = [
                 (point_index, t)
+                for point_index, trial_start, n_trials in segments
                 for t in range(trial_start, trial_start + n_trials)
             ]
-            specs = [sweep.trial_spec(point, t) for _, t in units]
+            specs = [sweep.trial_spec(points[p], t) for p, t in units]
             hits0, misses0 = session.hits, session.misses
             results = execute_units(
                 session, units, specs, config.get("batch", "auto")

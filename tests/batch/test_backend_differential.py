@@ -1,0 +1,167 @@
+"""Backend equivalence: every backend must produce bit-identical labels.
+
+The backend shim (:mod:`repro.backend`) exists to swap *implementations*
+of the batched component kernel, never *semantics*: the canonical-label
+contract (alive node → smallest alive reachable node id, dead → −1) is
+implementation-independent, so numpy's Shiloach–Vishkin loop and numba's
+per-trial flood fill must agree bit for bit on every input.  These tests
+assert that with hypothesis-generated cases, plus the selection/fallback
+behaviour (`auto`, env var, missing numba, unknown names).
+
+The numba-vs-numpy comparisons skip when numba is not importable — the
+CI backend matrix leg installs it; the base image does not — but the
+fallback tests run everywhere (they are *about* numba's absence).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from property.strategies import graphs  # tests/property/strategies.py
+
+from repro.api.session import Session
+from repro.api.specs import AnalysisSpec, FaultSpec, GraphSpec, ScenarioSpec
+from repro.backend import (
+    available_backends,
+    default_backend_name,
+    resolve_backend,
+)
+from repro.backend import numba_backend, numpy_backend
+from repro.errors import SpecError
+from repro.graphs.traversal import batched_connected_components
+
+pytestmark = pytest.mark.differential
+
+HAS_NUMBA = numba_backend.available()
+needs_numba = pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+
+
+# --------------------------------------------------------------------- #
+# selection / fallback
+# --------------------------------------------------------------------- #
+
+
+def test_numpy_backend_always_available():
+    assert "numpy" in available_backends()
+    assert resolve_backend("numpy").name == "numpy"
+
+
+def test_auto_prefers_numba_when_available(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    expected = "numba" if HAS_NUMBA else "numpy"
+    assert default_backend_name() == "auto"
+    assert resolve_backend("auto").name == expected
+    assert resolve_backend(None).name == expected
+    assert set(available_backends()) <= {"numpy", "numba"}
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(SpecError):
+        resolve_backend("tensorflow")
+
+
+def test_backend_instance_passes_through():
+    be = numpy_backend.BACKEND
+    assert resolve_backend(be) is be
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert resolve_backend(None).name == "numpy"
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(SpecError):
+        resolve_backend(None)
+
+
+@pytest.mark.skipif(HAS_NUMBA, reason="exercises the numba-absent fallback")
+def test_missing_numba_falls_back_with_warning():
+    with pytest.warns(RuntimeWarning, match="numba"):
+        assert resolve_backend("numba").name == "numpy"
+
+
+@pytest.mark.skipif(HAS_NUMBA, reason="exercises the numba-absent fallback")
+def test_session_numba_request_falls_back_cleanly():
+    """Session(backend="numba") without numba must still compute."""
+    with pytest.warns(RuntimeWarning):
+        sess = Session(backend="numba")
+    spec = ScenarioSpec(
+        graph=GraphSpec("cycle_graph", {"n": 12}),
+        fault=FaultSpec("random_node", {"p": 0.3}),
+        analysis=AnalysisSpec(mode="node", pruner=None, measure_expansion=False),
+        seed=3,
+    )
+    result = sess.run(spec)
+    baseline = Session(backend="numpy").run(spec)
+
+    def payload(r):  # timings are wall-clock, everything else is content
+        return {k: v for k, v in r.to_dict().items() if k != "timings"}
+
+    assert payload(result) == payload(baseline)
+
+
+# --------------------------------------------------------------------- #
+# bit-identical labels across backends
+# --------------------------------------------------------------------- #
+
+
+@needs_numba
+@given(
+    g=graphs(min_nodes=2, max_nodes=14, max_extra_edges=20),
+    p=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31 - 1),
+    trials=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_node_masks(g, p, seed, trials):
+    rng = np.random.default_rng(seed)
+    alive = rng.random((trials, g.n)) >= p
+    a = batched_connected_components(g, alive, backend="numpy")
+    b = batched_connected_components(g, alive, backend="numba")
+    assert a.dtype == b.dtype == np.int64
+    assert np.array_equal(a, b)
+
+
+@needs_numba
+@given(
+    g=graphs(min_nodes=2, max_nodes=14, max_extra_edges=20),
+    p=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31 - 1),
+    trials=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_edge_masks(g, p, seed, trials):
+    rng = np.random.default_rng(seed)
+    alive = rng.random((trials, g.n)) >= p / 2
+    edge_alive = rng.random((trials, g.m)) >= p
+    a = batched_connected_components(
+        g, alive, edge_alive=edge_alive, backend="numpy"
+    )
+    b = batched_connected_components(
+        g, alive, edge_alive=edge_alive, backend="numba"
+    )
+    assert np.array_equal(a, b)
+
+
+@needs_numba
+def test_session_results_identical_across_backends(tmp_path):
+    """Whole-pipeline differential: same spec, both backends, same record."""
+    base = ScenarioSpec(
+        graph=GraphSpec("mesh", {"sides": [6, 6]}),
+        fault=FaultSpec("random_node", {"p": 0.25}),
+        analysis=AnalysisSpec(mode="node", pruner=None, measure_expansion=False),
+    )
+    specs = [base.with_seed(s) for s in range(6)]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no fallback warning expected here
+        a = Session(backend="numpy").run_trials_batched(specs)
+        b = Session(backend="numba").run_trials_batched(specs)
+
+    def payload(r):  # timings are wall-clock, everything else is content
+        return {k: v for k, v in r.to_dict().items() if k != "timings"}
+
+    assert [payload(r) for r in a] == [payload(r) for r in b]
