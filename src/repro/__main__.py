@@ -49,7 +49,7 @@ served from the store without dispatching, and results are bit-identical
 to a local ``sweep run`` of the same file.  SIGTERM drains gracefully.
 
 ``paper`` produces the one-command reproduction artifact
-(:mod:`repro.report.paper`): ``paper run`` executes the e1–e11 suite on a
+(:mod:`repro.report.paper`): ``paper run`` executes the e1–e14 suite on a
 shared session (warm stores re-render with zero engine calls) and writes
 ``report.md`` / ``report.html`` / ``figures/*.svg`` / ``tables/*.json`` /
 ``manifest.json``; ``paper render`` re-renders an artifact directory from
@@ -87,6 +87,9 @@ _DESCRIPTIONS = {
     "e9": "§4 — routing / load-balancing consequences",
     "e10": "§4 open problem — span of butterfly/deBruijn/S-E",
     "e11": "ablation — cut-finder strategies",
+    "e12": "cascading faults — cascade size vs margin α",
+    "e13": "shortcut hardening of geographic graphs",
+    "e14": "small-world vs regular lattice disintegration",
 }
 
 
@@ -926,7 +929,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (e1..e11) or 'all'; or the subcommands "
+        help="experiment ids (e1..e14) or 'all'; or the subcommands "
         "run/run-batch/sweep/serve/paper/cache/registry/components",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")

@@ -19,7 +19,10 @@ matrix and evaluates them with the mask-parallel kernels in
   analyses, plus :func:`~repro.batch.engine.supports`, the eligibility
   test the sweep layer auto-batches on;
 * :mod:`repro.batch.metrics` — batched largest-component (γ) and
-  set-expansion metrics shared with the percolation modules.
+  set-expansion metrics shared with the percolation modules;
+* :mod:`repro.batch.rounds` — sequential-round mask kernels
+  (:func:`~repro.batch.rounds.run_rounds`) for fault dynamics that
+  iterate, e.g. the load-redistribution cascade.
 
 **The scalar-equivalence guarantee.**  The batched path is an *execution
 strategy*, never a semantic switch: for every supported scenario it
@@ -36,6 +39,7 @@ See ``docs/batch.md`` and DESIGN.md §8.
 from .engine import run_trials, supports
 from .faults import MASK_SAMPLERS, batched_fault_masks, register_mask_sampler
 from .metrics import batched_gamma, batched_set_expansion
+from .rounds import cascade_rounds, run_rounds
 
 __all__ = [
     "run_trials",
@@ -45,4 +49,6 @@ __all__ = [
     "register_mask_sampler",
     "batched_gamma",
     "batched_set_expansion",
+    "run_rounds",
+    "cascade_rounds",
 ]

@@ -79,6 +79,34 @@ def _random_node_masks(
     return masks, f"random(p={p:g})"
 
 
+@register_mask_sampler("cascade")
+def _cascade_masks(graph: Graph, params: Dict, seeds: Sequence[SeedLike]) -> tuple:
+    """Batched twin of :func:`repro.faults.cascade.load_cascade`.
+
+    Seed-node draws replay the scalar model's RNG stream per trial (one
+    ``rng.choice`` each, exactly as the scalar model consumes it); the
+    cascade itself runs as one ``(T, n)`` fixpoint iteration in
+    :func:`repro.batch.rounds.cascade_rounds`, whose rows are
+    bit-identical to the scalar reference loop.
+    """
+    from ..faults.cascade import check_cascade_params
+    from ..util.rng import as_generator
+    from .rounds import cascade_rounds
+
+    if "alpha" not in params:
+        raise SpecError("fault model 'cascade': missing required param 'alpha'")
+    alpha, n_seeds = check_cascade_params(
+        graph.n, params["alpha"], params.get("n_seeds", 1)
+    )
+    seed_masks = np.zeros((len(seeds), graph.n), dtype=bool)
+    for i, seed in enumerate(seeds):
+        rng = as_generator(seed)
+        picks = rng.choice(graph.n, size=n_seeds, replace=False).astype(np.int64)
+        seed_masks[i, picks] = True
+    failed, _rounds = cascade_rounds(graph, seed_masks, alpha)
+    return failed, f"cascade(alpha={alpha:g},seeds={n_seeds})"
+
+
 def batched_fault_masks(
     graph: Graph, model: str, params: Dict, seeds: Sequence[SeedLike]
 ) -> tuple:

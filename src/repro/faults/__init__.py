@@ -8,6 +8,7 @@ from .adversary import (
 )
 from .attacks_chain import chain_center_attack
 from .attacks_mesh import axis_cut_attack, recursive_bisection_attack
+from .cascade import add_edge_faults, cascade_fixpoint, load_cascade
 from .model import FaultScenario, apply_node_faults
 from .random_faults import random_edge_faults, random_node_faults, sample_fault_mask
 
@@ -17,6 +18,9 @@ __all__ = [
     "random_node_faults",
     "random_edge_faults",
     "sample_fault_mask",
+    "load_cascade",
+    "cascade_fixpoint",
+    "add_edge_faults",
     "separator_attack",
     "greedy_boundary_attack",
     "degree_attack",

@@ -1,0 +1,174 @@
+"""Cascading load-redistribution faults and edge-*addition* "faults".
+
+The paper's model is static: a fault set is drawn once and analysis runs
+on the survivors.  The related literature motivates two dynamic twists:
+
+* **Load cascades** (Motter–Lai style; cf. Witthaut & Timme's nonlocal
+  failure propagation): every node starts with load equal to its degree
+  and capacity ``(1 + alpha) * load``.  A seed set fails; each round, every
+  newly failed node's load is split equally among its still-alive
+  neighbours, and any node pushed over capacity fails in the next round.
+  The cascade runs to fixpoint, and the full failed set becomes a static
+  :class:`~repro.faults.model.FaultScenario` — so the whole downstream
+  pipeline (components, pruning, sweeps) applies unchanged.
+* **Edge additions** (Hayashi & Matsukubo's shortcut hardening): a
+  "fault" that *adds* ``k`` random shortcut edges instead of removing
+  nodes.  The scenario has an empty fault set and a surviving graph with
+  extra edges, which measures the robustness *gain* of link addition
+  through the same analysis path as every degradation experiment.
+
+:func:`cascade_fixpoint` is the scalar reference loop for the batched
+kernel in :mod:`repro.batch.rounds`; the two are kept bit-identical (same
+per-round operations, same CSR-segment summation order) and the contract
+is enforced by ``tests/batch/test_cascade_differential.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..graphs.graph import Graph
+from ..util.rng import SeedLike, as_generator
+from .model import FaultScenario, apply_node_faults
+from ..api.registry import register_fault_model
+
+__all__ = [
+    "check_cascade_params",
+    "cascade_fixpoint",
+    "load_cascade",
+    "add_edge_faults",
+]
+
+
+def check_cascade_params(n: int, alpha: float, n_seeds: int) -> Tuple[float, int]:
+    """Validate cascade parameters (shared with the batched mask sampler)."""
+    alpha = float(alpha)
+    if not np.isfinite(alpha) or alpha < 0.0:
+        raise InvalidParameterError(
+            f"alpha must be a finite float >= 0, got {alpha!r}"
+        )
+    n_seeds = int(n_seeds)
+    if not 1 <= n_seeds <= n:
+        raise InvalidParameterError(
+            f"n_seeds must satisfy 1 <= n_seeds <= n={n}, got {n_seeds}"
+        )
+    return alpha, n_seeds
+
+
+def _row_sums(values: np.ndarray, graph: Graph) -> np.ndarray:
+    """Sum ``values`` (one entry per directed CSR slot) over each node's
+    neighbour segment, in CSR slot order.
+
+    The one-element padding keeps ``reduceat`` in bounds when the last
+    node has degree 0; empty segments read garbage from the pad/next
+    segment, so isolated rows are zeroed explicitly.  The batched kernel
+    (:func:`repro.batch.rounds.cascade_rounds`) performs the identical
+    padded ``reduceat`` per mask row, which is what makes the two
+    implementations bit-identical.
+    """
+    idx = graph.index
+    m2 = graph.indices.shape[0]
+    buf = np.zeros(m2 + 1, dtype=values.dtype)
+    buf[:m2] = values
+    out = np.add.reduceat(buf, idx.starts) if graph.n else buf[:0]
+    if idx.has_isolated:
+        out[idx.isolated] = 0
+    return out
+
+
+def cascade_fixpoint(
+    graph: Graph, seed_mask: np.ndarray, alpha: float
+) -> Tuple[np.ndarray, int]:
+    """Run one load-redistribution cascade to fixpoint (scalar reference).
+
+    Initial load = degree; capacity = ``(1 + alpha) * load``.  Each round,
+    every newly failed node's accumulated load is split equally among its
+    still-alive neighbours (load reaching no survivor is lost), then every
+    alive node over capacity fails.  Returns ``(failed_mask, rounds)``
+    where ``rounds`` counts the redistribution rounds that recruited at
+    least one new failure (0 when the seeds overload nobody).
+    """
+    seed_mask = np.asarray(seed_mask)
+    if seed_mask.shape != (graph.n,) or seed_mask.dtype != np.bool_:
+        raise InvalidParameterError(
+            f"seed mask must be boolean of shape ({graph.n},), "
+            f"got shape {seed_mask.shape} dtype {seed_mask.dtype}"
+        )
+    if graph.n == 0:
+        return seed_mask.copy(), 0
+    indices = graph.indices
+    load = graph.index.degrees.astype(np.float64)
+    capacity = (1.0 + float(alpha)) * load
+    failed = seed_mask.copy()
+    newly = seed_mask.copy()
+    rounds = 0
+    while newly.any():
+        alive = ~failed
+        alive_deg = _row_sums(alive[indices].astype(np.int64), graph)
+        denom = np.where(alive_deg > 0, alive_deg, 1).astype(np.float64)
+        share = np.where(newly & (alive_deg > 0), load / denom, 0.0)
+        incoming = _row_sums(share[indices], graph)
+        load = np.where(alive, load + incoming, load)
+        newly = alive & (load > capacity)
+        if not newly.any():
+            break
+        failed |= newly
+        rounds += 1
+    return failed, rounds
+
+
+@register_fault_model("cascade")
+def load_cascade(
+    graph: Graph, alpha: float, n_seeds: int = 1, seed: SeedLike = None
+) -> FaultScenario:
+    """Load-redistribution cascade triggered by ``n_seeds`` random failures.
+
+    ``alpha`` is the tolerance margin: capacity ``(1 + alpha) * load``.
+    Small ``alpha`` lets a single seed failure snowball through the
+    network; large ``alpha`` confines the damage to the seeds.
+    """
+    alpha, n_seeds = check_cascade_params(graph.n, alpha, n_seeds)
+    rng = as_generator(seed)
+    seeds = rng.choice(graph.n, size=n_seeds, replace=False).astype(np.int64)
+    seed_mask = np.zeros(graph.n, dtype=bool)
+    seed_mask[seeds] = True
+    failed, _rounds = cascade_fixpoint(graph, seed_mask, alpha)
+    return apply_node_faults(
+        graph,
+        np.flatnonzero(failed),
+        kind=f"cascade(alpha={alpha:g},seeds={n_seeds})",
+    )
+
+
+@register_fault_model("add_edges")
+def add_edge_faults(graph: Graph, k: int, seed: SeedLike = None) -> FaultScenario:
+    """The anti-fault: add ``k`` random shortcut edges, remove nothing.
+
+    The scenario has an empty fault set (``f = 0``) and a surviving graph
+    on the same nodes with ``k`` extra non-adjacent pairs connected, so
+    robustness *gains* flow through the identical analysis pipeline as
+    every degradation model.
+    """
+    from ..graphs.generators.smallworld import sample_shortcut_edges
+
+    k = int(k)
+    if k < 0:
+        raise InvalidParameterError(f"k must be >= 0, got {k}")
+    kind = f"add_edges(k={k})"
+    no_faults = np.empty(0, dtype=np.int64)
+    if k == 0:
+        return FaultScenario(
+            original=graph, surviving=graph, faulty_nodes=no_faults, kind=kind
+        )
+    rng = as_generator(seed)
+    new_edges = sample_shortcut_edges(graph, k, rng)
+    edges = np.concatenate([graph.edge_array(), new_edges], axis=0)
+    augmented = Graph.from_edges(
+        graph.n, edges, name=f"{graph.name}+e{k}", coords=graph.coords
+    )
+    return FaultScenario(
+        original=graph, surviving=augmented, faulty_nodes=no_faults, kind=kind
+    )

@@ -17,6 +17,14 @@ from .expanders import chordal_cycle, expander, margulis_expander
 from .hypercube import hypercube
 from .mesh import can_overlay, coord_to_id, mesh, mesh_coords, torus
 from .random_graphs import erdos_renyi, gnm_random, random_regular
+from .smallworld import (
+    add_shortcuts,
+    geographic,
+    rewire_edges,
+    rewired_torus,
+    sample_shortcut_edges,
+    watts_strogatz,
+)
 
 __all__ = [
     "butterfly",
@@ -46,4 +54,10 @@ __all__ = [
     "erdos_renyi",
     "gnm_random",
     "random_regular",
+    "watts_strogatz",
+    "rewired_torus",
+    "geographic",
+    "add_shortcuts",
+    "rewire_edges",
+    "sample_shortcut_edges",
 ]

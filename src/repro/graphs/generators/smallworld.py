@@ -1,0 +1,218 @@
+"""Small-world rewirings, geographic random graphs, and shortcut overlays.
+
+Three topology families from the related literature, all outside the
+paper's original generator set:
+
+* :func:`watts_strogatz` — the classic small-world model: a ring lattice
+  (each node tied to its ``k`` nearest neighbours) with every edge
+  rewired to a random endpoint with probability ``beta``.  ``beta = 0``
+  is the regular lattice, ``beta = 1`` approaches a random graph, and
+  intermediate values give short paths with high clustering (Demichev et
+  al. study fault tolerance of exactly this interpolation).
+* :func:`rewired_torus` — the same rewiring applied to the existing
+  torus lattices, preserving the coordinate metadata.
+* :func:`geographic` — a Waxman-style geographic random graph: nodes at
+  uniform points in the unit square, each pair connected independently
+  with the distance-decaying probability ``q * exp(-dist / scale)``.
+* :func:`add_shortcuts` — overlay ``k`` uniform non-adjacent shortcut
+  pairs on any base graph (the Hayashi–Matsukubo hardening move); as a
+  registered generator it composes with every base spec, e.g.
+  ``GraphSpec("add_shortcuts", {"base": GraphSpec(...), "k": 8, "seed": 1})``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import InvalidParameterError
+from ...util.rng import SeedLike, as_generator
+from ..graph import Graph
+from ...api.registry import register_generator
+from .mesh import torus
+
+__all__ = [
+    "watts_strogatz",
+    "rewired_torus",
+    "geographic",
+    "add_shortcuts",
+    "sample_shortcut_edges",
+    "rewire_edges",
+]
+
+
+def _check_beta(beta: float) -> float:
+    beta = float(beta)
+    if not 0.0 <= beta <= 1.0:
+        raise InvalidParameterError(f"beta must be in [0, 1], got {beta}")
+    return beta
+
+
+def sample_shortcut_edges(
+    graph: Graph, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``k`` distinct uniform node pairs not already adjacent, as a
+    ``(k, 2)`` int64 array with ``u < v`` per row (insertion order).
+
+    Rejection sampling against the graph's binary-search adjacency test;
+    raises when fewer than ``k`` non-edges exist.
+    """
+    n = graph.n
+    k = int(k)
+    if k < 0:
+        raise InvalidParameterError(f"k must be >= 0, got {k}")
+    free = n * (n - 1) // 2 - graph.m
+    if k > free:
+        raise InvalidParameterError(
+            f"cannot add {k} shortcut edges: only {free} non-adjacent pairs left"
+        )
+    chosen: list = []
+    seen: set = set()
+    while len(chosen) < k:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        if (u, v) in seen or graph.has_edge(u, v):
+            continue
+        seen.add((u, v))
+        chosen.append((u, v))
+    return np.array(chosen, dtype=np.int64).reshape(k, 2)
+
+
+def rewire_edges(graph: Graph, beta: float, seed: SeedLike = None) -> Graph:
+    """Watts–Strogatz rewiring of an arbitrary graph.
+
+    Scans the canonical edge list in order; each edge ``(u, v)`` is, with
+    probability ``beta``, replaced by ``(u, w)`` for a uniform ``w`` that
+    is neither ``u`` nor already adjacent to it (edges at saturated nodes
+    are left in place).  Node count and coordinates are preserved; the
+    degree sequence drifts only at the rewired ``v`` endpoints.
+    """
+    beta = _check_beta(beta)
+    rng = as_generator(seed)
+    n = graph.n
+    adjacency = [set(graph.neighbors(u).tolist()) for u in range(n)]
+    edges = [tuple(int(x) for x in row) for row in graph.edge_array()]
+    for i, (u, v) in enumerate(edges):
+        if rng.random() >= beta:
+            continue
+        if len(adjacency[u]) >= n - 1:
+            continue  # u is tied to everyone: nothing to rewire to
+        w = int(rng.integers(0, n))
+        while w == u or w in adjacency[u]:
+            w = int(rng.integers(0, n))
+        adjacency[u].remove(v)
+        adjacency[v].remove(u)
+        adjacency[u].add(w)
+        adjacency[w].add(u)
+        edges[i] = (min(u, w), max(u, w))
+    edge_arr = np.array(edges, dtype=np.int64).reshape(len(edges), 2)
+    return Graph.from_edges(n, edge_arr, name=graph.name, coords=graph.coords)
+
+
+@register_generator("watts_strogatz")
+def watts_strogatz(n: int, k: int, beta: float, seed: SeedLike = None) -> Graph:
+    """Watts–Strogatz small-world graph on a ring lattice.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (``n >= 3``).
+    k:
+        Even lattice degree: each node starts tied to its ``k/2`` nearest
+        neighbours on each side (``2 <= k < n``).
+    beta:
+        Per-edge rewiring probability in ``[0, 1]``.
+    seed:
+        RNG spec for the rewiring draws (required through the spec layer).
+    """
+    if n < 3:
+        raise InvalidParameterError(f"n must be >= 3, got {n}")
+    if k < 2 or k % 2 != 0 or k >= n:
+        raise InvalidParameterError(
+            f"k must be even with 2 <= k < n, got k={k}, n={n}"
+        )
+    edges = []
+    for j in range(1, k // 2 + 1):
+        src = np.arange(n, dtype=np.int64)
+        edges.append(np.column_stack([src, (src + j) % n]))
+    ring = Graph.from_edges(n, np.concatenate(edges, axis=0))
+    rewired = rewire_edges(ring, beta, seed)
+    return rewired.renamed(f"ws-{n}-{k}-{beta:g}")
+
+
+@register_generator("rewired_torus")
+def rewired_torus(
+    sides, beta: float, seed: SeedLike = None, d: int | None = None
+) -> Graph:
+    """Small-world rewiring of the d-dimensional torus lattice.
+
+    Takes the same ``sides``/``d`` spec as :func:`~.mesh.torus`, then
+    rewires each lattice edge with probability ``beta``, keeping the
+    coordinate metadata so span/boundary machinery still works on the
+    unrewired majority of the lattice.
+    """
+    base = torus(sides, d)
+    rewired = rewire_edges(base, beta, seed)
+    label = base.name.split("torus-", 1)[-1]
+    return rewired.renamed(f"swt-{label}-{beta:g}")
+
+
+@register_generator("geographic")
+def geographic(n: int, q: float, scale: float, seed: SeedLike = None) -> Graph:
+    """Waxman-style geographic random graph in the unit square.
+
+    ``n`` nodes at uniform positions; each pair ``(u, v)`` is connected
+    independently with probability ``q * exp(-dist(u, v) / scale)`` — the
+    distance-dependent model of geographic/internet topologies (Waxman
+    1988; the geographic networks of Hayashi & Matsukubo).  Positions are
+    carried as float ``coords``.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if n > 20000:
+        raise InvalidParameterError("geographic limited to n <= 20000 (dense draw)")
+    q = float(q)
+    if not 0.0 <= q <= 1.0:
+        raise InvalidParameterError(f"q must be in [0, 1], got {q}")
+    scale = float(scale)
+    if not scale > 0.0:
+        raise InvalidParameterError(f"scale must be > 0, got {scale}")
+    rng = as_generator(seed)
+    name = f"geo-{n}-q{q:g}-s{scale:g}"
+    coords = rng.random((n, 2))
+    if n < 2 or q == 0.0:
+        g = Graph.empty(n, name=name)
+        return Graph(g.indptr, g.indices, name=name, coords=coords, validate=False)
+    iu = np.triu_indices(n, k=1)
+    dist = np.sqrt(((coords[iu[0]] - coords[iu[1]]) ** 2).sum(axis=1))
+    p_edge = q * np.exp(-dist / scale)
+    mask = rng.random(iu[0].shape[0]) < p_edge
+    edges = np.column_stack([iu[0][mask], iu[1][mask]]).astype(np.int64)
+    return Graph.from_edges(n, edges, name=name, coords=coords)
+
+
+@register_generator("add_shortcuts")
+def add_shortcuts(base: Graph, k: int, seed: SeedLike = None) -> Graph:
+    """Overlay ``k`` uniform non-adjacent shortcut edges on ``base``.
+
+    The generator-side twin of the ``add_edges`` fault model: use this
+    when the hardened graph must be the *baseline* of an experiment (e.g.
+    sweeping random faults over graphs with 0/8/32 shortcuts), and the
+    fault model when the addition itself is the event under study.
+    """
+    if not isinstance(base, Graph):
+        raise InvalidParameterError(
+            f"base must be a Graph (or a nested graph spec), got {type(base).__name__}"
+        )
+    rng = as_generator(seed)
+    new_edges = sample_shortcut_edges(base, int(k), rng)
+    if new_edges.shape[0] == 0:
+        edge_arr = base.edge_array()
+    else:
+        edge_arr = np.concatenate([base.edge_array(), new_edges], axis=0)
+    return Graph.from_edges(
+        base.n, edge_arr, name=f"{base.name}+sc{int(k)}", coords=base.coords
+    )

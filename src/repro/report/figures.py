@@ -41,6 +41,9 @@ __all__ = [
     "fig_expansion_vs_fault",
     "fig_percolation_thresholds",
     "fig_cutfinder_ablation",
+    "fig_cascade_size",
+    "fig_shortcut_robustness",
+    "fig_smallworld_disintegration",
     "PAPER_FIGURES",
 ]
 
@@ -512,6 +515,49 @@ def fig_cutfinder_ablation(table: ExperimentTable) -> str:
     )
 
 
+def fig_cascade_size(table: ExperimentTable) -> str:
+    """E12 — mean cascade size (failed fraction) vs the capacity margin α,
+    one series per topology."""
+    return line_chart(
+        _series_by(table, "graph", "alpha", "cascade_mean", "cascade_ci95"),
+        title="Cascade size vs tolerance margin (E12)",
+        xlabel="capacity margin α",
+        ylabel="mean failed fraction",
+        y_min=0.0, y_max=1.05,
+    )
+
+
+def fig_shortcut_robustness(table: ExperimentTable) -> str:
+    """E13 — γ vs shortcut count k, one series per fault probability."""
+    series = _series_by(table, "p_fault", "k", "gamma_mean", "gamma_ci95")
+    series = [
+        Series(
+            label=f"p={s.label}",
+            xs=s.xs, ys=s.ys, halfwidths=s.halfwidths,
+        )
+        for s in series
+    ]
+    return line_chart(
+        series,
+        title="Robustness gain from added shortcuts (E13)",
+        xlabel="shortcut edges added k",
+        ylabel="mean largest-component fraction γ",
+        y_min=0.0, y_max=1.05,
+    )
+
+
+def fig_smallworld_disintegration(table: ExperimentTable) -> str:
+    """E14 — γ vs fault probability for small-world rewirings against
+    their regular lattices."""
+    return line_chart(
+        _series_by(table, "graph", "p_fault", "gamma_mean", "gamma_ci95"),
+        title="Small-world vs regular lattices under faults (E14)",
+        xlabel="fault probability p",
+        ylabel="mean largest-component fraction γ",
+        y_min=0.0, y_max=1.05,
+    )
+
+
 #: Report figures: file stem → (experiment id, builder).
 PAPER_FIGURES: Dict[str, Tuple[str, Callable[[ExperimentTable], str]]] = {
     "disintegration": ("e5", fig_disintegration),
@@ -519,6 +565,9 @@ PAPER_FIGURES: Dict[str, Tuple[str, Callable[[ExperimentTable], str]]] = {
     "expansion_vs_fault": ("e9", fig_expansion_vs_fault),
     "percolation_thresholds": ("e8", fig_percolation_thresholds),
     "cutfinder_ablation": ("e11", fig_cutfinder_ablation),
+    "cascade_size": ("e12", fig_cascade_size),
+    "shortcut_robustness": ("e13", fig_shortcut_robustness),
+    "smallworld_disintegration": ("e14", fig_smallworld_disintegration),
 }
 
 

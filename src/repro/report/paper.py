@@ -1,4 +1,4 @@
-"""One-command paper artifact: run the e1–e11 suite, emit a report directory.
+"""One-command paper artifact: run the e1–e14 suite, emit a report directory.
 
 :func:`run_paper` drives every experiment through **one shared**
 :class:`~repro.api.session.Session` whose store makes the whole pipeline
@@ -71,6 +71,9 @@ SMOKE_KWARGS: Dict[str, Dict[str, Any]] = {
     "e8": {"n_trials": 4, "tol": 0.08},
     "e10": {"n_samples": 6},
     "e11": {"n_trials": 2},
+    "e12": {"n_trials": 4},
+    "e13": {"n_trials": 4},
+    "e14": {"n_trials": 4},
 }
 
 

@@ -13,7 +13,8 @@ import numpy as np
 import pytest
 
 from repro.batch.metrics import batched_gamma, batched_set_expansion
-from repro.errors import InvalidParameterError
+from repro.batch.rounds import cascade_rounds, run_rounds
+from repro.errors import InvalidParameterError, SolverError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import (
     batched_bfs_distances,
@@ -149,8 +150,91 @@ def test_gamma_composes_node_and_edge_masks(square):
 
 
 # --------------------------------------------------------------------- #
+# sequential-round kernels: degenerate trials and convergence caps
+# --------------------------------------------------------------------- #
+
+
+def test_cascade_rounds_zero_trials(square):
+    final, rounds = cascade_rounds(square, np.zeros((0, 4), dtype=bool), 0.0)
+    assert final.shape == (0, 4) and rounds.shape == (0,)
+
+
+def test_cascade_rounds_empty_graph():
+    g = Graph.empty(0)
+    final, rounds = cascade_rounds(g, np.zeros((3, 0), dtype=bool), 0.5)
+    assert final.shape == (3, 0)
+    assert rounds.tolist() == [0, 0, 0]
+
+
+def test_cascade_rounds_all_dead_row_is_stable(square):
+    # a fully-failed seed row has nobody left to recruit: 0 rounds
+    seeds = np.array([[True] * 4, [True, False, False, False]])
+    final, rounds = cascade_rounds(square, seeds, 0.0)
+    assert final[0].all() and rounds[0] == 0
+    assert final[1].all() and rounds[1] > 0  # alpha=0 cascades fully
+
+
+def test_cascade_rounds_huge_margin_stops_at_seeds(square):
+    # capacity far above any reachable load: the cascade is the seed set
+    seeds = np.array([[True, False, False, False]])
+    final, rounds = cascade_rounds(square, seeds, 100.0)
+    assert np.array_equal(final, seeds)
+    assert rounds.tolist() == [0]
+
+
+def test_cascade_rounds_pins_round_count():
+    # path 0-1-2 at alpha=0: the failure front advances one hop per
+    # round — node 1 falls in round 1, node 2 in round 2, and the load
+    # node 2 accumulated is lost (no survivors to give to)
+    path = Graph.from_edges(3, np.array([(0, 1), (1, 2)]))
+    seeds = np.array([[True, False, False]])
+    final, rounds = cascade_rounds(path, seeds, 0.0)
+    assert final.tolist() == [[True, True, True]]
+    assert rounds.tolist() == [2]
+
+
+def test_run_rounds_no_op_step_is_zero_rounds(square):
+    masks = np.array([[True, False, True, False]])
+    final, rounds = run_rounds(masks, lambda m: m.copy())
+    assert np.array_equal(final, masks)
+    assert rounds.tolist() == [0]
+
+
+def test_run_rounds_raises_past_max_rounds(square):
+    masks = np.array([[True, False, True, False]])
+    with pytest.raises(SolverError):
+        run_rounds(masks, np.logical_not, max_rounds=10)
+
+
+def test_cascade_rounds_rejects_non_boolean_masks(square):
+    # NaN/negative entries arrive as a float dtype and must be rejected
+    # loudly, never silently truthified — same contract as the
+    # single-shot kernels below
+    bad = np.array([[np.nan, -1.0, 0.0, 1.0]])
+    with pytest.raises(InvalidParameterError, match="boolean"):
+        cascade_rounds(square, bad, 0.5)
+    with pytest.raises(InvalidParameterError):
+        cascade_rounds(square, np.zeros((2, 3), dtype=bool), 0.5)  # bad shape
+    with pytest.raises(InvalidParameterError):
+        cascade_rounds(square, np.zeros((2, 4), dtype=bool), -0.1)  # bad alpha
+    with pytest.raises(InvalidParameterError):
+        cascade_rounds(square, np.zeros((2, 4), dtype=bool), np.nan)
+
+
+# --------------------------------------------------------------------- #
 # input validation stays loud for real mistakes
 # --------------------------------------------------------------------- #
+
+
+def test_batched_kernels_reject_nan_float_masks(square):
+    """The single-shot kernels share the reject-non-bool contract."""
+    bad = np.array([[np.nan, -1.0, 0.0, 1.0]])
+    with pytest.raises(InvalidParameterError):
+        batched_connected_components(square, bad)
+    with pytest.raises(InvalidParameterError):
+        batched_bfs_distances(square, bad)
+    with pytest.raises(InvalidParameterError):
+        batched_set_expansion(square, bad)
 
 
 def test_shape_and_dtype_mistakes_raise(square):

@@ -37,4 +37,5 @@ class TestCli:
     def test_registry_complete(self):
         assert set(ALL_EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+            "e12", "e13", "e14",
         }

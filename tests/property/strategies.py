@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import strategies as st
 
+from repro.graphs.generators.smallworld import geographic, watts_strogatz
 from repro.graphs.graph import Graph
 
 
@@ -47,6 +48,26 @@ def connected_graphs(draw, min_nodes=2, max_nodes=10, max_extra_edges=12):
     )
     edges = tree_edges + [(u, v) for u, v in extra if u != v]
     return Graph.from_edges(n, np.array(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@st.composite
+def small_world_graphs(draw, min_nodes=4, max_nodes=14):
+    """A Watts–Strogatz graph across the whole lattice→random interpolation."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    k = draw(st.sampled_from([j for j in (2, 4) if j < n]))
+    beta = draw(st.sampled_from([0.0, 0.1, 0.3, 0.7, 1.0]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return watts_strogatz(n, k, beta, seed=seed)
+
+
+@st.composite
+def geographic_graphs(draw, min_nodes=2, max_nodes=14):
+    """A Waxman geographic graph, from near-empty to near-complete."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    q = draw(st.sampled_from([0.0, 0.3, 0.7, 1.0]))
+    scale = draw(st.sampled_from([0.05, 0.2, 0.5, 2.0]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return geographic(n, q, scale, seed=seed)
 
 
 @st.composite

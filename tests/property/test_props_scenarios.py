@@ -1,0 +1,190 @@
+"""Property tests for the scenario-diversity generators and fault models.
+
+Runs the invariants of the existing connectivity / expansion / index
+property suites over the *new* topology families (Watts–Strogatz
+small-world, Waxman geographic), plus the generator- and cascade-specific
+contracts: rewiring preserves node and edge counts, geographic graphs
+carry their sampled coordinates, cascades only ever grow the seed set,
+and edge-addition "faults" never make γ worse.
+
+Marked ``scenarios``: the CI tier added with the scenario suite runs this
+module together with ``tests/batch/test_cascade_differential.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.expansion.exact import edge_expansion_exact, node_expansion_exact
+from repro.faults.cascade import add_edge_faults, cascade_fixpoint, load_cascade
+from repro.faults.random_faults import random_node_faults
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    is_connected,
+    largest_component_fraction,
+)
+
+from .strategies import geographic_graphs, small_world_graphs
+
+pytestmark = pytest.mark.scenarios
+
+
+# --------------------------------------------------------------------- #
+# index suite invariants over the new families
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.one_of(small_world_graphs(), geographic_graphs()))
+def test_index_views_match_fresh_computation(g):
+    """`test_props_index` contract, verbatim, on the new generators."""
+    idx = g.index
+    degrees = np.diff(g.indptr)
+    assert idx.n == g.n and idx.m == g.m
+    assert np.array_equal(idx.degrees, degrees)
+    assert np.array_equal(idx.starts, g.indptr[:-1])
+    assert np.array_equal(idx.isolated, degrees == 0)
+    assert idx.has_isolated == bool(np.any(degrees == 0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.one_of(small_world_graphs(), geographic_graphs()))
+def test_edge_array_roundtrips(g):
+    edges = g.index.edge_array
+    assert edges.shape == (g.m, 2)
+    if g.m:
+        assert np.all(edges[:, 0] < edges[:, 1])
+    rebuilt = Graph.from_edges(g.n, edges)
+    assert rebuilt == g
+
+
+# --------------------------------------------------------------------- #
+# connectivity suite invariants over the new families
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.one_of(small_world_graphs(), geographic_graphs()),
+    st.integers(0, 10_000),
+)
+def test_random_faults_partition(g, seed):
+    sc = random_node_faults(g, 0.3, seed=seed)
+    assert sc.surviving.n + sc.f == g.n
+    assert not np.intersect1d(sc.surviving_nodes, sc.faulty_nodes).size
+    union = np.union1d(sc.surviving_nodes, sc.faulty_nodes)
+    assert np.array_equal(union, np.arange(g.n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_world_graphs(min_nodes=5, max_nodes=12), st.integers(0, 10_000))
+def test_random_faults_distance_monotone(g, seed):
+    """Distances never shrink under faults, small-world case."""
+    assume(is_connected(g))
+    sc = random_node_faults(g, 0.3, seed=seed)
+    surv = sc.surviving
+    assume(surv.n >= 2)
+    d_faulty = bfs_distances(surv, 0)
+    d_orig = bfs_distances(g, int(surv.original_ids[0]))
+    for local in range(surv.n):
+        if d_faulty[local] >= 0:
+            assert d_faulty[local] >= d_orig[surv.original_ids[local]]
+
+
+# --------------------------------------------------------------------- #
+# expansion suite invariants over the new families
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.one_of(
+    small_world_graphs(min_nodes=4, max_nodes=10),
+    geographic_graphs(min_nodes=4, max_nodes=10),
+))
+def test_node_edge_expansion_sandwich(g):
+    """α ≤ αe ≤ δ·α holds for the new families too (§1.3 conventions)."""
+    assume(is_connected(g))
+    node = node_expansion_exact(g, max_nodes=10).value
+    edge = edge_expansion_exact(g, max_nodes=10).value
+    delta = max(g.max_degree, 1)
+    assert node <= edge + 1e-12
+    assert edge <= delta * node + 1e-12
+
+
+# --------------------------------------------------------------------- #
+# generator-specific contracts
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_world_graphs())
+def test_watts_strogatz_preserves_counts(g):
+    """Rewiring replaces edges one for one: n·k/2 edges always."""
+    n = g.n
+    k = int(g.name.split("-")[2])
+    assert g.m == n * k // 2
+    assert g.name.startswith(f"ws-{n}-")
+
+
+@settings(max_examples=40, deadline=None)
+@given(geographic_graphs())
+def test_geographic_carries_coords(g):
+    assert g.coords is not None
+    assert g.coords.shape == (g.n, 2)
+    assert ((g.coords >= 0.0) & (g.coords < 1.0)).all()
+    if g.name.split("-q")[1].startswith("0-"):
+        assert g.m == 0  # q = 0: no pair ever connects
+
+
+# --------------------------------------------------------------------- #
+# cascade / add_edges model contracts
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.one_of(small_world_graphs(), geographic_graphs()),
+    st.sampled_from([0.0, 0.1, 0.5, 2.0]),
+    st.integers(0, 10_000),
+)
+def test_cascade_grows_the_seed_set(g, alpha, seed):
+    assume(g.n >= 1)
+    rng = np.random.default_rng(seed)
+    seed_mask = np.zeros(g.n, dtype=bool)
+    seed_mask[int(rng.integers(0, g.n))] = True
+    failed, rounds = cascade_fixpoint(g, seed_mask, alpha)
+    assert (failed | seed_mask).sum() == failed.sum()  # seeds ⊆ failed
+    assert 0 <= rounds <= g.n
+    # determinism: the fixpoint is a pure function of (graph, mask, alpha)
+    failed2, rounds2 = cascade_fixpoint(g, seed_mask, alpha)
+    assert np.array_equal(failed, failed2) and rounds == rounds2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.one_of(small_world_graphs(), geographic_graphs()), st.integers(0, 10_000))
+def test_huge_margin_confines_cascade_to_seeds(g, seed):
+    """With capacity far above any reachable load, only the seed fails."""
+    assume(g.n >= 1)
+    sc = load_cascade(g, alpha=float(2 * g.n + 2), n_seeds=1, seed=seed)
+    assert sc.f == 1
+    assert sc.surviving.n == g.n - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_world_graphs(min_nodes=5, max_nodes=12),
+       st.integers(0, 4), st.integers(0, 10_000))
+def test_add_edges_never_hurts_gamma(g, k, seed):
+    free = g.n * (g.n - 1) // 2 - g.m
+    k = min(k, free)
+    sc = add_edge_faults(g, k, seed=seed)
+    assert sc.f == 0
+    assert sc.surviving.n == g.n
+    assert sc.surviving.m == g.m + k
+    assert (
+        largest_component_fraction(sc.surviving)
+        >= largest_component_fraction(g) - 1e-12
+    )

@@ -1,7 +1,7 @@
 """Golden regression: ``paper run --smoke`` must reproduce committed tables.
 
 ``tests/golden/paper-smoke-seed0.tables.jsonl`` holds one JSON-encoded
-:class:`~repro.report.tables.ExperimentTable` per line — the e1–e11 output
+:class:`~repro.report.tables.ExperimentTable` per line — the e1–e14 output
 of ``PaperConfig(seed=0, scale=1, smoke=True)`` at the time the fixture
 was committed.  The test re-runs the same configuration and compares via
 :func:`~repro.report.manifest.diff_manifests`, the same CI-overlap rule
@@ -59,8 +59,8 @@ def _golden_tables():
 
 def test_fixture_covers_the_full_suite():
     assert sorted(_golden_tables()) == sorted(
-        f"e{i}" for i in range(1, 12)
-    ), "golden fixture must hold one table per experiment e1–e11"
+        f"e{i}" for i in range(1, 15)
+    ), "golden fixture must hold one table per experiment e1–e14"
 
 
 @pytest.fixture(scope="module")
