@@ -10,11 +10,15 @@ three ways through the first-class sweep layer (:mod:`repro.api.sweeps`):
 3. **resumed**: the same adaptive sweep re-run against a store — every
    trial is served from disk, and the final fingerprint is identical to
    the uninterrupted run (resume granularity is the *trial*, not the
-   sweep).
+   sweep);
+4. **transition** (stateful): fit the γ(p) curve online and concentrate
+   trials where predicted |slope| × CI half-width peaks — plateaus get a
+   relaxed width target and stop at the bootstrap.
 
 Run with ``PYTHONPATH=src python examples/adaptive_sweep.py``.
 """
 
+import dataclasses
 import tempfile
 
 from repro.api import (
@@ -88,6 +92,25 @@ def main() -> None:
             f"\nwarm replay: {warm_session.hits} trials served from the "
             f"store, 0 computed — fingerprint {replay.fingerprint()} identical"
         )
+
+    # -- 4. transition: spend only where the fitted curve is steep -------- #
+    # A wider grid with plateau ends: the allocator fits gamma(p) online,
+    # relaxes the width target on the flat ends, and spends its chunks
+    # inside the disintegration band.
+    curve_spec = dataclasses.replace(
+        build_sweep(
+            SamplingPolicy(kind="transition", target=0.025, min_trials=6, chunk=6)
+        ),
+        axes=(
+            Axis("fault.params.p", (0.05, 0.12, 0.3, 0.4, 0.45, 0.5, 0.6, 0.75)),
+        ),
+    )
+    curve = run_sweep(curve_spec, Session())
+    per_point = ", ".join(str(p.n_trials) for p in curve.points)
+    print(
+        f"\ntransition allocation: {curve.total_trials} trials "
+        f"([{per_point}] per point) — the chunks land on the steep band"
+    )
 
 
 if __name__ == "__main__":

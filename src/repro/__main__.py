@@ -190,6 +190,20 @@ def _planned_trials(sweep) -> tuple[int, str]:
             f"{policy.min_trials}..{sweep.trials} per point "
             f"(stop at CI half-width <= {policy.target:g})"
         )
+    if policy.kind == "cluster":
+        budget = f", {policy.budget} total" if policy.budget else ""
+        return sweep.trials, (
+            f"{policy.min_trials} per point, then cluster by response and "
+            f"tighten representatives to half-width <= {policy.target:g} "
+            f"(cap {sweep.trials} per point{budget})"
+        )
+    if policy.kind == "transition":
+        budget = f", {policy.budget} total" if policy.budget else ""
+        return sweep.trials, (
+            f"{policy.min_trials} per point, then chunks of {policy.chunk} "
+            f"where fitted |slope| x CI half-width peaks "
+            f"(cap {sweep.trials} per point{budget})"
+        )
     return policy.budget, (
         f"{policy.min_trials} per point, then chunks of {policy.chunk} to the "
         f"noisiest point ({policy.budget} total)"
@@ -201,7 +215,10 @@ def _cmd_sweep(argv: list[str]) -> int:
         prog="python -m repro sweep",
         description="Plan / execute / inspect a declarative sweep "
         "(a SweepSpec JSON file), locally or against a running sweep "
-        "service (see 'python -m repro serve').",
+        "service (see 'python -m repro serve'). Sampling policies: fixed, "
+        "ci_width, budget, cluster (run cluster representatives, map "
+        "results back), transition (concentrate trials where the fitted "
+        "response curve is steep).",
     )
     sub.add_argument(
         "action", choices=("run", "plan", "status", "submit", "watch")

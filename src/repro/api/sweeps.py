@@ -9,9 +9,15 @@ This module makes that shape first-class:
   replacement like ``"graph"``) plus the values it takes.
 * :class:`SamplingPolicy` — how trials are allocated to grid points:
   ``fixed`` (the classic constant count), ``ci_width`` (keep sampling a
-  point until its confidence interval is tighter than ``target``), or
+  point until its confidence interval is tighter than ``target``),
   ``budget`` (spend a fixed total, each chunk going to the currently
-  noisiest point).
+  noisiest point), ``cluster`` (bootstrap every point, cluster points by
+  observed response, spend the budget on one representative per cluster
+  and map its CI-backed estimate to the members), or ``transition`` (fit
+  the response curve online and concentrate chunks where predicted
+  |dγ/dp| × CI half-width peaks).  Each kind is realised by an
+  :class:`Allocator` state machine (``policy.allocator(points)``) whose
+  decisions are a deterministic function of the aggregate stream.
 * :class:`SweepSpec` — the frozen, JSON-round-trippable record tying the
   above together with a trial count, a sweep seed and a seed policy.  It
   expands *deterministically* into ``(ScenarioSpec, trial index)`` work
@@ -53,6 +59,7 @@ from typing import (
     Iterator,
     List,
     Mapping,
+    NamedTuple,
     Optional,
     Sequence,
     Tuple,
@@ -61,7 +68,15 @@ from typing import (
 import numpy as np
 
 from ..errors import SpecError
-from ..util.stats import OnlineStats, P2Quantile, wilson_interval
+from ..util.stats import (
+    OnlineStats,
+    P2Quantile,
+    fit_isotonic,
+    fit_logistic,
+    logistic_slope,
+    logistic_value,
+    wilson_interval,
+)
 from .specs import (
     AnalysisSpec,
     FaultSpec,
@@ -76,6 +91,8 @@ __all__ = [
     "Metric",
     "METRICS",
     "register_metric",
+    "Allocator",
+    "PointView",
     "SamplingPolicy",
     "SweepSpec",
     "SweepPoint",
@@ -274,10 +291,47 @@ def _set_path(d: Dict[str, Any], path: str, value: Any) -> None:
 
 
 # --------------------------------------------------------------------- #
-# Sampling policy
+# Sampling policy + allocator state machines
 # --------------------------------------------------------------------- #
 
-_POLICY_KINDS = ("fixed", "ci_width", "budget")
+_POLICY_KINDS = ("fixed", "ci_width", "budget", "cluster", "transition")
+
+
+class PointView(NamedTuple):
+    """The per-point snapshot an :class:`Allocator` decides from.
+
+    ``halfwidth`` is the primary metric's CI half-width (``inf`` until the
+    point has enough finite observations), ``mean`` its running mean
+    (``nan`` with none), and ``n_finite`` the count of finite observations
+    folded so far — the signal that distinguishes "not sampled yet" from
+    "sampled but the metric never yields a value" (all-NaN starvation).
+    """
+
+    halfwidth: float
+    mean: float
+    n_finite: int
+
+
+def _canon_float(name: str, value: Any, *, optional: bool = False) -> Optional[float]:
+    if value is None and optional:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"policy {name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _canon_int(name: str, value: Any, *, optional: bool = False) -> Optional[int]:
+    if value is None and optional:
+        return None
+    if isinstance(value, bool):
+        raise SpecError(f"policy {name} must be an int, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise SpecError(f"policy {name} must be integral, got {value!r}")
+        value = int(value)
+    if not isinstance(value, int):
+        raise SpecError(f"policy {name} must be an int, got {value!r}")
+    return value
 
 
 @dataclass(frozen=True, eq=True)
@@ -292,10 +346,32 @@ class SamplingPolicy:
     * ``budget`` — every point gets ``min_trials``, then each round hands
       one ``chunk`` to the point with the widest CI until ``budget`` total
       trials are spent (or, when ``target`` is set, until every point is
-      already tight).
+      already tight).  Points that spent ``min_trials`` without a single
+      finite observation are *starved* — excluded from widest-point
+      selection so an all-NaN point cannot swallow the whole budget.
+    * ``cluster`` — after a ``min_trials`` bootstrap of every point, grid
+      points are clustered by observed primary-metric response (means
+      within ``2 × target`` share a cluster), one representative per
+      cluster is driven to CI half-width ≤ ``target`` (cap
+      ``SweepSpec.trials``, optional total ``budget``), and its CI-backed
+      estimate is mapped back to the members with provenance flags.
+    * ``transition`` — after the bootstrap, the response curve over the
+      leading numeric axis is fitted online (logistic / isotonic,
+      whichever fits better) and each round's ``chunk`` goes where
+      predicted |slope| × CI half-width peaks; flat regions are held to a
+      relaxed width target, which is what concentrates trials on the
+      percolation transition.
 
-    Allocation decisions depend only on the deterministic aggregate stream,
-    so interrupted/resumed and serial/parallel sweeps allocate identically.
+    Every kind is realised by an :class:`Allocator` state machine
+    (:meth:`allocator`) whose decisions depend only on the deterministic
+    aggregate stream, so interrupted/resumed, serial/parallel and
+    local/distributed sweeps allocate identically.
+
+    Numeric fields are canonicalised at construction (``target`` → float,
+    ``budget``/``chunk``/``min_trials`` → int, ``confidence`` → float), so
+    logically identical policies — e.g. ``budget=100`` vs ``budget=100.0``
+    from a JSON client — are equal *and* hash equal, keeping scheduler
+    dedup and store reuse sound.
 
     >>> fixed = SamplingPolicy()                     # every point: `trials`
     >>> fixed.allocate([], [0, 0, 0], max_trials=4)
@@ -306,6 +382,12 @@ class SamplingPolicy:
     [(1, 8)]
     >>> adaptive.allocate([0.01, 0.04], [2, 10], max_trials=10)  # all tight: stop
     []
+    >>> SamplingPolicy(kind="budget", budget=100) == SamplingPolicy(
+    ...     kind="budget", budget=100.0)
+    True
+    >>> hash(SamplingPolicy(kind="budget", budget=100)) == hash(
+    ...     SamplingPolicy(kind="budget", budget=100.0))
+    True
     """
 
     kind: str = "fixed"
@@ -320,67 +402,90 @@ class SamplingPolicy:
             raise SpecError(
                 f"policy kind must be one of {_POLICY_KINDS}, got {self.kind!r}"
             )
-        if not 0.0 < float(self.confidence) < 1.0:
+        # Canonicalise *before* hashing ever sees the fields: to_dict feeds
+        # the content hash, so int/float spellings of the same policy must
+        # collapse to one representation (the eq/hash contract).
+        object.__setattr__(
+            self, "target", _canon_float("target", self.target, optional=True)
+        )
+        object.__setattr__(
+            self, "confidence", _canon_float("confidence", self.confidence)
+        )
+        object.__setattr__(self, "chunk", _canon_int("chunk", self.chunk))
+        object.__setattr__(
+            self, "min_trials", _canon_int("min_trials", self.min_trials)
+        )
+        object.__setattr__(
+            self, "budget", _canon_int("budget", self.budget, optional=True)
+        )
+        if not 0.0 < self.confidence < 1.0:
             raise SpecError(f"confidence must be in (0, 1), got {self.confidence}")
-        if int(self.chunk) < 1:
+        if self.chunk < 1:
             raise SpecError(f"chunk must be >= 1, got {self.chunk}")
-        if int(self.min_trials) < 1:
+        if self.min_trials < 1:
             raise SpecError(f"min_trials must be >= 1, got {self.min_trials}")
-        if self.kind == "ci_width":
-            if self.target is None or not float(self.target) > 0.0:
-                raise SpecError("ci_width policy needs a positive 'target'")
+        if self.kind in ("ci_width", "cluster", "transition"):
+            if self.target is None:
+                raise SpecError(
+                    f"{self.kind} policy needs a positive 'target'"
+                )
         if self.kind == "budget":
-            if self.budget is None or int(self.budget) < 1:
+            if self.budget is None or self.budget < 1:
                 raise SpecError("budget policy needs a positive 'budget'")
-        if self.target is not None and not float(self.target) > 0.0:
+        if self.budget is not None and self.budget < 1:
+            raise SpecError(f"budget must be >= 1, got {self.budget}")
+        if self.target is not None and not self.target > 0.0:
             raise SpecError(f"target must be positive, got {self.target}")
 
     # -- allocation ----------------------------------------------------- #
+
+    def allocator(self, points: Sequence["SweepPoint"] = ()) -> "Allocator":
+        """Build this policy's :class:`Allocator` state machine.
+
+        ``points`` is the expanded grid (:meth:`SweepSpec.points`); the
+        ``transition`` kind reads the leading numeric axis values from it.
+        """
+        cls = _ALLOCATORS[self.kind]
+        return cls(self, points)
 
     def allocate(
         self,
         halfwidths: Sequence[float],
         allocated: Sequence[int],
         max_trials: int,
+        observations: Optional[Sequence[int]] = None,
     ) -> List[Tuple[int, int]]:
-        """The next round's ``(point index, extra trials)`` requests.
+        """One stateless allocation step (``fixed`` / ``ci_width`` /
+        ``budget`` only — the stateful kinds need :meth:`allocator`).
 
         An empty list terminates the sweep.  ``halfwidths`` are the current
         CI half-widths of the policy metric (``inf`` until a point has
-        enough observations for an interval).
+        enough observations for an interval); ``observations`` optionally
+        carries each point's finite-observation count, which the ``budget``
+        kind uses to starve out all-NaN points.
         """
-        n_points = len(allocated)
-        if self.kind == "fixed":
-            return [
-                (i, max_trials - a) for i, a in enumerate(allocated) if a < max_trials
-            ]
-        if self.kind == "ci_width":
-            first = min(self.min_trials, max_trials)
-            requests: List[Tuple[int, int]] = []
-            for i, a in enumerate(allocated):
-                if a == 0:
-                    requests.append((i, first))
-                elif halfwidths[i] > self.target and a < max_trials:
-                    requests.append((i, min(self.chunk, max_trials - a)))
-            return requests
-        # budget
-        assert self.budget is not None
-        remaining = self.budget - sum(allocated)
-        if remaining <= 0:
-            return []
-        if all(a == 0 for a in allocated):
-            requests = []
-            for i in range(n_points):
-                give = min(self.min_trials, remaining)
-                if give <= 0:
-                    break
-                requests.append((i, give))
-                remaining -= give
-            return requests
-        if self.target is not None and all(h <= self.target for h in halfwidths):
-            return []
-        widest = max(range(n_points), key=lambda i: (halfwidths[i], -i))
-        return [(widest, min(self.chunk, remaining))]
+        if self.kind in ("cluster", "transition"):
+            raise SpecError(
+                f"the {self.kind!r} policy is stateful; drive it through "
+                "policy.allocator(points).next_requests(...)"
+            )
+        views = [
+            PointView(
+                halfwidth=(
+                    halfwidths[i] if i < len(halfwidths) else math.inf
+                ),
+                mean=math.nan,
+                n_finite=(
+                    observations[i]
+                    if observations is not None
+                    # No visibility into finite counts: assume any sampled
+                    # point has observations (the pre-starvation contract).
+                    else (1 if allocated[i] > 0 else 0)
+                ),
+            )
+            for i in range(len(allocated))
+        ]
+        return self.allocator().next_requests(views, allocated, max_trials)
 
     # -- serialisation -------------------------------------------------- #
 
@@ -404,17 +509,396 @@ class SamplingPolicy:
         unknown = sorted(set(d) - allowed)
         if unknown:
             raise SpecError(f"SamplingPolicy dict has unknown key(s) {unknown}")
+        # Raw values pass straight through: __post_init__ canonicalises, so
+        # int/float JSON spellings land on identical field values (and
+        # therefore identical content hashes).
         return cls(
             kind=d.get("kind", "fixed"),
             target=d.get("target"),
-            confidence=float(d.get("confidence", 0.95)),
-            chunk=int(d.get("chunk", 8)),
-            min_trials=int(d.get("min_trials", 4)),
+            confidence=d.get("confidence", 0.95),
+            chunk=d.get("chunk", 8),
+            min_trials=d.get("min_trials", 4),
             budget=d.get("budget"),
         )
 
     def __hash__(self) -> int:
         return hash(canonical_json(self.to_dict()))
+
+
+class Allocator:
+    """Base of the per-kind allocation state machines.
+
+    One allocator instance drives one sweep execution: every round the
+    driver hands it the current :class:`PointView` snapshots plus the
+    per-point allocation counts, and it answers with ``(point index,
+    extra trials)`` requests (empty = the sweep is complete).  Decisions —
+    including any internal state such as cluster assignments — must be a
+    pure function of the deterministic aggregate stream, never of
+    wall-clock, worker count or completion order; that is what keeps
+    ``workers=1`` vs ``N``, fresh vs resumed, and local vs distributed
+    executions allocating (and therefore fingerprinting) identically.
+    """
+
+    kind = "base"
+
+    def __init__(
+        self, policy: SamplingPolicy, points: Sequence["SweepPoint"] = ()
+    ) -> None:
+        self.policy = policy
+        self.points = tuple(points)
+
+    def next_requests(
+        self,
+        views: Sequence[PointView],
+        allocated: Sequence[int],
+        max_trials: int,
+    ) -> List[Tuple[int, int]]:
+        raise NotImplementedError
+
+    def mapping(self) -> Optional[List[int]]:
+        """Per-point stats-source index (cluster representatives), or
+        ``None`` when every point's stats are its own."""
+        return None
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-safe introspection payload (the service status surface)."""
+        return {"kind": self.kind}
+
+    # -- shared helpers -------------------------------------------------- #
+
+    def _remaining(self, allocated: Sequence[int]) -> Optional[int]:
+        if self.policy.budget is None:
+            return None
+        return self.policy.budget - sum(allocated)
+
+    def _bootstrap(
+        self, allocated: Sequence[int], max_trials: int
+    ) -> List[Tuple[int, int]]:
+        """Give every never-sampled point ``min_trials`` (budget-capped)."""
+        first = min(self.policy.min_trials, max_trials)
+        remaining = self._remaining(allocated)
+        requests: List[Tuple[int, int]] = []
+        for i, a in enumerate(allocated):
+            if a != 0:
+                continue
+            give = first if remaining is None else min(first, remaining)
+            if give <= 0:
+                break
+            requests.append((i, give))
+            if remaining is not None:
+                remaining -= give
+        return requests
+
+
+class _FixedAllocator(Allocator):
+    kind = "fixed"
+
+    def next_requests(self, views, allocated, max_trials):
+        return [
+            (i, max_trials - a) for i, a in enumerate(allocated) if a < max_trials
+        ]
+
+
+class _CIWidthAllocator(Allocator):
+    kind = "ci_width"
+
+    def next_requests(self, views, allocated, max_trials):
+        policy = self.policy
+        first = min(policy.min_trials, max_trials)
+        requests: List[Tuple[int, int]] = []
+        for i, a in enumerate(allocated):
+            if a == 0:
+                requests.append((i, first))
+            elif views[i].halfwidth > policy.target and a < max_trials:
+                requests.append((i, min(policy.chunk, max_trials - a)))
+        return requests
+
+
+class _BudgetAllocator(Allocator):
+    kind = "budget"
+
+    def _starved(self, view: PointView, allocated: int) -> bool:
+        """Spent the bootstrap without one finite observation: the metric
+        is undefined at this point, so its half-width stays ``inf``
+        forever and sampling it further is pure waste."""
+        return allocated >= self.policy.min_trials and view.n_finite == 0
+
+    def next_requests(self, views, allocated, max_trials):
+        policy = self.policy
+        remaining = self._remaining(allocated)
+        assert remaining is not None  # budget kind validates budget
+        if remaining <= 0:
+            return []
+        if all(a == 0 for a in allocated):
+            return self._bootstrap(allocated, max_trials)
+        candidates = [
+            i for i in range(len(allocated))
+            if not self._starved(views[i], allocated[i])
+        ]
+        if not candidates:
+            return []
+        if policy.target is not None and all(
+            views[i].halfwidth <= policy.target for i in candidates
+        ):
+            return []
+        widest = max(candidates, key=lambda i: (views[i].halfwidth, -i))
+        return [(widest, min(policy.chunk, remaining))]
+
+
+class _ClusterAllocator(Allocator):
+    """Snapshot-clustering allocation: bootstrap → cluster → representatives.
+
+    After the bootstrap round, grid points are grouped by observed
+    primary-metric mean (sorted sweep; a point joins the current cluster
+    while its mean is within ``2 × target`` of the cluster anchor).  Each
+    cluster's representative — the member closest to the cluster mean —
+    is then driven to CI half-width ≤ ``target`` exactly like ``ci_width``
+    while the members stop sampling; :meth:`mapping` lets the driver map
+    the representative's CI-backed stats back to the members with
+    provenance flags.  The assignment is computed once, from bootstrap
+    aggregates only, so it is a pure function of the fold stream.
+    """
+
+    kind = "cluster"
+
+    def __init__(self, policy, points=()):
+        super().__init__(policy, points)
+        self._assignment: Optional[List[int]] = None
+
+    def _cluster(self, views: Sequence[PointView]) -> List[int]:
+        n = len(views)
+        tol = 2.0 * self.policy.target
+        live = [i for i in range(n) if views[i].n_finite > 0]
+        assignment = list(range(n))  # starved points stay singletons
+        clusters: List[List[int]] = []
+        anchor = math.nan
+        for i in sorted(live, key=lambda i: (views[i].mean, i)):
+            if clusters and abs(views[i].mean - anchor) <= tol:
+                clusters[-1].append(i)
+            else:
+                clusters.append([i])
+                anchor = views[i].mean
+        for members in clusters:
+            centre = sum(views[i].mean for i in members) / len(members)
+            rep = min(members, key=lambda i: (abs(views[i].mean - centre), i))
+            for i in members:
+                assignment[i] = rep
+        return assignment
+
+    def next_requests(self, views, allocated, max_trials):
+        policy = self.policy
+        if any(a == 0 for a in allocated):
+            return self._bootstrap(allocated, max_trials)
+        if self._assignment is None:
+            self._assignment = self._cluster(views)
+        remaining = self._remaining(allocated)
+        requests: List[Tuple[int, int]] = []
+        for r in sorted(set(self._assignment)):
+            view = views[r]
+            if view.n_finite == 0:  # starved singleton: nothing to tighten
+                continue
+            if view.halfwidth > policy.target and allocated[r] < max_trials:
+                give = min(policy.chunk, max_trials - allocated[r])
+                if remaining is not None:
+                    give = min(give, remaining)
+                if give <= 0:
+                    break
+                requests.append((r, give))
+                if remaining is not None:
+                    remaining -= give
+        return requests
+
+    def mapping(self):
+        return None if self._assignment is None else list(self._assignment)
+
+    def state(self):
+        out = {"kind": self.kind, "phase": "bootstrap", "clusters": None}
+        if self._assignment is not None:
+            groups: Dict[int, List[int]] = {}
+            for i, rep in enumerate(self._assignment):
+                groups.setdefault(rep, []).append(i)
+            out["phase"] = "representatives"
+            out["clusters"] = [
+                {"representative": rep, "members": members}
+                for rep, members in sorted(groups.items())
+            ]
+        return out
+
+
+class _TransitionAllocator(Allocator):
+    """Curve-learning allocation for transition-shaped responses.
+
+    Each post-bootstrap round refits the primary-metric means over the
+    leading numeric axis — logistic (:func:`repro.util.stats.fit_logistic`)
+    vs isotonic (:func:`repro.util.stats.fit_isotonic`), whichever has the
+    lower weighted SSE — and hands one ``chunk`` to the eligible point
+    where predicted |slope| × CI half-width peaks.  A point's effective
+    width target is *relaxed* along two axes of indifference:
+
+    * relative flatness — a point whose slope is small compared to the
+      curve's maximum is a plateau; its target stretches quadratically up
+      to ``(1 + RELAX) × target``;
+    * grid resolution — where the fitted curve moves by ``Δy = |slope| ×
+      Δx`` across one grid step, a CI tighter than that movement cannot
+      sharpen the curve's *position*, so the target also stretches to
+      ``|slope| × Δx`` (capped at the same ``(1 + RELAX)`` ceiling).
+
+    Steep points (normalised slope ≥ ``STEEP``) must additionally reach
+    ``2 × min_trials`` before their width test counts: a bootstrap-sized
+    sample inside the transition band routinely reports a deceptively
+    tight interval around a badly-placed mean.  Together these rules
+    concentrate trials on the percolation transition and stop everywhere
+    else near the bootstrap floor, which is what reproduces γ(p) within
+    CI at a fraction of the trials.  The fit consumes only aggregate
+    means/halfwidths, so the allocation sequence is a pure function of
+    the fold stream.
+    """
+
+    kind = "transition"
+
+    #: Ceiling of both relaxations: no point's effective width target
+    #: exceeds ``target * (1 + RELAX)``.
+    RELAX = 3.0
+    #: Normalised-slope threshold above which a point is "steep" and owes
+    #: the ``2 × min_trials`` sample floor.
+    STEEP = 0.5
+
+    def __init__(self, policy, points=()):
+        super().__init__(policy, points)
+        self._xs = _leading_numeric_axis(points)
+        self._fit: Optional[str] = None  # introspection: last fit chosen
+
+    def _xvals(self, n: int) -> List[float]:
+        # Driven without (or past) the declared grid — e.g. straight through
+        # next_requests in tests — fall back to index coordinates.
+        if len(self._xs) >= n:
+            return self._xs
+        return [float(i) for i in range(n)]
+
+    def _slopes(self, views, active: List[int]) -> Dict[int, float]:
+        if len(active) < 2:
+            return {i: 0.0 for i in active}
+        xvals = self._xvals(len(views))
+        order = sorted(active, key=lambda i: (xvals[i], i))
+        xs = [xvals[i] for i in order]
+        ys = [views[i].mean for i in order]
+        weights = [float(views[i].n_finite) for i in order]
+
+        def sse(fitted: Sequence[float]) -> float:
+            return sum(
+                w * (f - y) ** 2 for f, y, w in zip(fitted, ys, weights)
+            )
+
+        inc = fit_isotonic(ys, weights, increasing=True)
+        dec = fit_isotonic(ys, weights, increasing=False)
+        iso = inc if sse(inc) <= sse(dec) else dec
+        iso_sse = sse(iso)
+        fitted, slopes_at = iso, None
+        self._fit = "isotonic"
+        if len(set(xs)) >= 3:
+            try:
+                params = fit_logistic(xs, ys, weights)
+            except Exception:  # degenerate geometry: keep the isotonic fit
+                params = None
+            if params is not None:
+                log_fitted = [logistic_value(params, x) for x in xs]
+                if sse(log_fitted) < iso_sse:
+                    fitted = log_fitted
+                    slopes_at = [logistic_slope(params, x) for x in xs]
+                    self._fit = "logistic"
+        slopes: Dict[int, float] = {}
+        m = len(order)
+        for j, i in enumerate(order):
+            if slopes_at is not None:
+                slopes[i] = slopes_at[j]
+                continue
+            lo = max(j - 1, 0)
+            hi = min(j + 1, m - 1)
+            dx = xs[hi] - xs[lo]
+            slopes[i] = (fitted[hi] - fitted[lo]) / dx if dx > 0 else 0.0
+        return slopes
+
+    def _grid_step(self, xvals: Sequence[float], active: List[int]) -> float:
+        """Median gap between adjacent distinct active x's (0 if < 2)."""
+        xs = sorted({xvals[i] for i in active})
+        if len(xs) < 2:
+            return 0.0
+        gaps = sorted(b - a for a, b in zip(xs, xs[1:]))
+        return gaps[len(gaps) // 2]
+
+    def next_requests(self, views, allocated, max_trials):
+        policy = self.policy
+        if any(a == 0 for a in allocated):
+            return self._bootstrap(allocated, max_trials)
+        remaining = self._remaining(allocated)
+        if remaining is not None and remaining <= 0:
+            return []
+        active = [i for i in range(len(allocated)) if views[i].n_finite > 0]
+        if not active:
+            return []
+        slopes = self._slopes(views, active)
+        s_max = max(abs(slopes[i]) for i in active)
+        ceiling = policy.target * (1.0 + self.RELAX)
+        dx = self._grid_step(self._xvals(len(views)), active)
+        sample_floor = min(2 * policy.min_trials, max_trials)
+        best: Optional[Tuple[float, int]] = None
+        for i in active:
+            if allocated[i] >= max_trials:
+                continue
+            s_norm = abs(slopes[i]) / s_max if s_max > 0 else 1.0
+            flat_tau = policy.target * (
+                1.0 + self.RELAX * (1.0 - s_norm) ** 2
+            )
+            step_tau = min(abs(slopes[i]) * dx, ceiling)
+            tau = max(flat_tau, step_tau)
+            hw = views[i].halfwidth
+            underfed = (
+                s_max > 0
+                and s_norm >= self.STEEP
+                and allocated[i] < sample_floor
+            )
+            if hw <= tau and not underfed:
+                continue
+            # inf half-width (a point without an interval yet) outranks
+            # everything; otherwise slope-weighted width, floored so a
+            # perfectly flat-but-wide point can still win.
+            score = math.inf if math.isinf(hw) else (s_norm + 1e-3) * hw
+            if best is None or (score, -i) > (best[0], -best[1]):
+                best = (score, i)
+        if best is None:
+            return []
+        i = best[1]
+        give = min(policy.chunk, max_trials - allocated[i])
+        if remaining is not None:
+            give = min(give, remaining)
+        return [] if give <= 0 else [(i, give)]
+
+    def state(self):
+        return {"kind": self.kind, "fit": self._fit}
+
+
+def _leading_numeric_axis(points: Sequence["SweepPoint"]) -> List[float]:
+    """Each point's coordinate on the first all-numeric axis (the curve's
+    x-values); falls back to the point index when no axis qualifies."""
+    if points:
+        n_axes = len(points[0].coords)
+        for pos in range(n_axes):
+            values = [p.coords[pos][1] for p in points]
+            if all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values
+            ):
+                return [float(v) for v in values]
+    return [float(i) for i in range(len(points))]
+
+
+_ALLOCATORS: Dict[str, type] = {
+    "fixed": _FixedAllocator,
+    "ci_width": _CIWidthAllocator,
+    "budget": _BudgetAllocator,
+    "cluster": _ClusterAllocator,
+    "transition": _TransitionAllocator,
+}
 
 
 # --------------------------------------------------------------------- #
@@ -510,9 +994,13 @@ class SweepSpec:
                 raise SpecError(f"duplicate axis path {a.path!r}")
             seen.add(a.path)
         object.__setattr__(self, "axes", axes)
-        if not isinstance(self.trials, int) or self.trials < 1:
+        if (
+            isinstance(self.trials, bool)
+            or not isinstance(self.trials, int)
+            or self.trials < 1
+        ):
             raise SpecError(f"trials must be a positive int, got {self.trials!r}")
-        if not isinstance(self.seed, int):
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
             raise SpecError(f"sweep seed must be an int, got {self.seed!r}")
         if self.seed_policy not in _SEED_POLICIES:
             raise SpecError(
@@ -792,6 +1280,18 @@ class PointAggregate:
             return (hi - lo) / 2.0
         return stats.halfwidth(self.confidence)
 
+    def mean(self, metric: Optional[str] = None) -> float:
+        """Running mean of a metric (default: the primary allocation one);
+        ``nan`` until the point has a finite observation."""
+        m = metric if metric is not None else self.metrics[0]
+        stats = self._stats[m]
+        return stats.mean if stats.count else math.nan
+
+    def n_finite(self, metric: Optional[str] = None) -> int:
+        """Count of finite observations folded for a metric so far."""
+        m = metric if metric is not None else self.metrics[0]
+        return self._stats[m].count
+
     def point_stats(self, metric: str) -> PointStats:
         stats = self._stats[metric]
         n = stats.count
@@ -841,6 +1341,11 @@ class PointSummary:
     stats: Dict[str, PointStats]
     trial_fingerprints: Tuple[str, ...]
     results: Optional[Tuple[RunResult, ...]] = None
+    #: ``"direct"`` — stats come from this point's own trials;
+    #: ``"cluster"`` — stats were mapped from cluster representative
+    #: ``source`` (the ``cluster`` policy's result mapping).
+    provenance: str = "direct"
+    source: Optional[int] = None
 
     def coord_dict(self) -> Dict[str, Any]:
         return dict(self.coords)
@@ -853,6 +1358,8 @@ class PointSummary:
             "n_trials": self.n_trials,
             "stats": {m: s.to_dict() for m, s in self.stats.items()},
             "trial_fingerprints": list(self.trial_fingerprints),
+            "provenance": self.provenance,
+            "source": self.source,
         }
 
 
@@ -884,6 +1391,7 @@ class SweepResult:
         out: List[Dict[str, Any]] = []
         primary = self.primary_metric
         ci_label = f"ci{round(self.sweep.policy.confidence * 100):g}"
+        mapped = any(p.provenance != "direct" for p in self.points)
         for p in self.points:
             row: Dict[str, Any] = {}
             for path, value in p.coords:
@@ -901,6 +1409,12 @@ class SweepResult:
             )
             for m in self.sweep.metrics[1:]:
                 row[f"{m}_mean"] = _round(p.stats[m].mean)
+            if mapped:
+                row["provenance"] = (
+                    p.provenance
+                    if p.source is None
+                    else f"{p.provenance}<-{p.source}"
+                )
             out.append(row)
         return out
 
@@ -1030,6 +1544,7 @@ class SweepDriver:
         self.sweep = sweep
         self.points = sweep.points()
         self.keep_results = keep_results
+        self._allocator = sweep.policy.allocator(self.points)
         self._aggs = [
             PointAggregate(sweep.metrics, sweep.policy.confidence)
             for _ in self.points
@@ -1044,8 +1559,18 @@ class SweepDriver:
 
     # -- the policy loop ------------------------------------------------- #
 
+    def _views(self) -> List[PointView]:
+        return [
+            PointView(
+                halfwidth=agg.halfwidth(),
+                mean=agg.mean(),
+                n_finite=agg.n_finite(),
+            )
+            for agg in self._aggs
+        ]
+
     def next_round(self) -> List[Tuple[int, int, int]]:
-        """Ask the sampling policy for the next round's work.
+        """Ask the sampling policy's allocator for the next round's work.
 
         Returns ``(point index, first trial index, n trials)`` requests —
         empty when the sweep is complete (the driver then flips to
@@ -1055,10 +1580,8 @@ class SweepDriver:
         """
         if self._done:
             return []
-        requests = self.sweep.policy.allocate(
-            [agg.halfwidth() for agg in self._aggs],
-            list(self._allocated),
-            self.sweep.trials,
+        requests = self._allocator.next_requests(
+            self._views(), list(self._allocated), self.sweep.trials
         )
         if not requests:
             self._done = True
@@ -1089,6 +1612,11 @@ class SweepDriver:
     def allocated(self) -> Tuple[int, ...]:
         return tuple(self._allocated)
 
+    def allocator_state(self) -> Dict[str, Any]:
+        """The allocator's JSON-safe introspection payload (cluster
+        assignments, transition fit choice, …) for the service status."""
+        return self._allocator.state()
+
     def point_snapshots(self) -> List[Dict[str, Any]]:
         """Live per-point state: coordinates, progress and current stats —
         the payload behind ``GET /sweeps/{id}`` while a sweep is running."""
@@ -1109,24 +1637,41 @@ class SweepDriver:
         ]
 
     def result(self) -> SweepResult:
-        """The aggregated :class:`SweepResult` (valid once :attr:`done`)."""
-        summaries = tuple(
-            PointSummary(
-                index=p.index,
-                coords=p.coords,
-                label=p.spec.label,
-                n_trials=self._allocated[p.index],
-                stats={
-                    m: self._aggs[p.index].point_stats(m)
-                    for m in self.sweep.metrics
-                },
-                trial_fingerprints=tuple(self._fingerprints[p.index]),
-                results=(
-                    tuple(self._collected[p.index]) if self.keep_results else None
-                ),
+        """The aggregated :class:`SweepResult` (valid once :attr:`done`).
+
+        When the allocator clustered the grid (the ``cluster`` policy),
+        each member point's stats are mapped from its representative's
+        CI-backed aggregate, flagged ``provenance="cluster"`` with
+        ``source`` naming the representative; trial fingerprints stay the
+        point's own (they record what actually ran)."""
+        mapping = self._allocator.mapping()
+        summaries = []
+        for p in self.points:
+            source = mapping[p.index] if mapping is not None else p.index
+            stats_from = source if self._aggs[source].n_finite() else p.index
+            summaries.append(
+                PointSummary(
+                    index=p.index,
+                    coords=p.coords,
+                    label=p.spec.label,
+                    n_trials=self._allocated[p.index],
+                    stats={
+                        m: self._aggs[stats_from].point_stats(m)
+                        for m in self.sweep.metrics
+                    },
+                    trial_fingerprints=tuple(self._fingerprints[p.index]),
+                    results=(
+                        tuple(self._collected[p.index])
+                        if self.keep_results
+                        else None
+                    ),
+                    provenance=(
+                        "direct" if stats_from == p.index else "cluster"
+                    ),
+                    source=None if stats_from == p.index else stats_from,
+                )
             )
-            for p in self.points
-        )
+        summaries = tuple(summaries)
         return SweepResult(
             sweep=self.sweep,
             points=summaries,

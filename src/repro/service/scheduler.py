@@ -372,6 +372,7 @@ class Scheduler:
                 "trials_allocated": sum(driver.allocated),
                 "trials_done": driver.total,
                 "store": {"hits": entry.store_hits, "misses": entry.store_misses},
+                "allocator": driver.allocator_state(),
                 "point_stats": driver.point_snapshots(),
             }
             if entry.fingerprint is not None:

@@ -38,6 +38,10 @@ __all__ = [
     "t_value",
     "normal_interval",
     "wilson_interval",
+    "fit_isotonic",
+    "fit_logistic",
+    "logistic_value",
+    "logistic_slope",
 ]
 
 
@@ -499,3 +503,147 @@ class P2Quantile:
         hi = min(lo + 1, len(ordered) - 1)
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+# --------------------------------------------------------------------- #
+# Online curve fitting (the transition allocator's response models)
+# --------------------------------------------------------------------- #
+
+
+def fit_isotonic(
+    ys: List[float],
+    weights: Optional[List[float]] = None,
+    *,
+    increasing: bool = True,
+) -> List[float]:
+    """Weighted isotonic regression via pool-adjacent-violators (PAV).
+
+    Returns the monotone sequence minimising the weighted squared error to
+    ``ys`` — the standard nonparametric smoother for a response known to be
+    monotone in the swept axis, like a disintegration curve γ(p).  Pure
+    python, deterministic, O(n) per call.
+
+    >>> fit_isotonic([1.0, 3.0, 2.0, 4.0])
+    [1.0, 2.5, 2.5, 4.0]
+    >>> fit_isotonic([1.0, 0.4, 0.6, 0.1], increasing=False)
+    [1.0, 0.5, 0.5, 0.1]
+    """
+    n = len(ys)
+    if n == 0:
+        return []
+    w = list(weights) if weights is not None else [1.0] * n
+    if len(w) != n:
+        raise InvalidParameterError(
+            f"weights length {len(w)} != data length {n}"
+        )
+    if any(x <= 0 for x in w):
+        raise InvalidParameterError("isotonic weights must be positive")
+    seq = list(ys) if increasing else [-y for y in ys]
+    # blocks of (weighted mean, total weight, member count)
+    blocks: List[List[float]] = []
+    for y, wt in zip(seq, w):
+        blocks.append([float(y), float(wt), 1.0])
+        while len(blocks) > 1 and blocks[-2][0] >= blocks[-1][0]:
+            m2, w2, c2 = blocks.pop()
+            m1, w1, c1 = blocks.pop()
+            total = w1 + w2
+            blocks.append([(m1 * w1 + m2 * w2) / total, total, c1 + c2])
+    out: List[float] = []
+    for mean, _, count in blocks:
+        out.extend([mean] * int(count))
+    return out if increasing else [-y for y in out]
+
+
+def logistic_value(params: Tuple[float, float, float, float], x: float) -> float:
+    """Evaluate the 4-parameter logistic ``lo + (hi-lo) / (1 + e^{k(x-x0)})``.
+
+    With ``k > 0`` the curve *decreases* from ``hi`` to ``lo`` as ``x``
+    grows — the natural orientation for a disintegration curve γ(p).
+    """
+    lo, hi, x0, k = params
+    z = k * (x - x0)
+    if z >= 0:
+        e = math.exp(-z) if z < 700 else 0.0
+        s = e / (1.0 + e)
+    else:
+        e = math.exp(z) if z > -700 else 0.0
+        s = 1.0 / (1.0 + e)
+    return lo + (hi - lo) * s
+
+
+def logistic_slope(params: Tuple[float, float, float, float], x: float) -> float:
+    """d/dx of :func:`logistic_value` at ``x`` (analytic, overflow-safe)."""
+    lo, hi, x0, k = params
+    z = abs(k * (x - x0))
+    if z > 700:
+        return 0.0
+    e = math.exp(-z)
+    s = e / (1.0 + e) ** 2
+    return -(hi - lo) * k * s
+
+
+def fit_logistic(
+    xs: List[float],
+    ys: List[float],
+    weights: Optional[List[float]] = None,
+) -> Tuple[float, float, float, float]:
+    """Fit ``(lo, hi, x0, k)`` of :func:`logistic_value` to ``(xs, ys)``.
+
+    Deterministic scipy-free least squares: asymptotes are pinned to the
+    data extremes, then ``(x0, k)`` minimise the weighted SSE over a coarse
+    grid refined by three shrinking passes — the same inputs always produce
+    the same parameters, which is what lets adaptive allocators consume the
+    fit without breaking replay determinism.  ``k`` is constrained positive
+    (decreasing curve); pass ``-y`` values to fit an increasing response.
+
+    >>> xs = [0.1 * i for i in range(11)]
+    >>> truth = (0.0, 1.0, 0.5, 12.0)
+    >>> fit = fit_logistic(xs, [logistic_value(truth, x) for x in xs])
+    >>> abs(fit[2] - 0.5) < 0.05 and abs(fit[3] - 12.0) / 12.0 < 0.5
+    True
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise InvalidParameterError(
+            f"xs length {n} != ys length {len(ys)}"
+        )
+    if n < 2:
+        raise InvalidParameterError("fit_logistic needs at least two points")
+    w = list(weights) if weights is not None else [1.0] * n
+    if len(w) != n or any(x <= 0 for x in w):
+        raise InvalidParameterError(
+            "weights must match the data length and be positive"
+        )
+    lo, hi = min(ys), max(ys)
+    x_lo, x_hi = min(xs), max(xs)
+    span = max(x_hi - x_lo, 1e-12)
+
+    def sse(x0: float, k: float) -> float:
+        total = 0.0
+        for x, y, wt in zip(xs, ys, w):
+            d = logistic_value((lo, hi, x0, k), x) - y
+            total += wt * d * d
+        return total
+
+    # Coarse grid: x0 across the observed range, k across 3 decades of
+    # steepness relative to the axis span.
+    best = (math.inf, x_lo + span / 2.0, 1.0 / span)
+    k_grid = [10.0 ** e / span for e in (-0.5, 0.0, 0.5, 1.0, 1.5, 2.0)]
+    for i in range(17):
+        x0 = x_lo + span * i / 16.0
+        for k in k_grid:
+            err = sse(x0, k)
+            if err < best[0] - 1e-15:
+                best = (err, x0, k)
+    # Three shrinking local refinements around the incumbent.
+    dx, fk = span / 16.0, 10.0 ** 0.5
+    for _ in range(3):
+        _, bx, bk = best
+        for x0 in (bx - dx, bx - dx / 2, bx, bx + dx / 2, bx + dx):
+            for k in (bk / fk, bk / math.sqrt(fk), bk, bk * math.sqrt(fk), bk * fk):
+                err = sse(x0, k)
+                if err < best[0] - 1e-15:
+                    best = (err, x0, k)
+        dx /= 4.0
+        fk = math.sqrt(fk)
+    return (lo, hi, best[1], best[2])

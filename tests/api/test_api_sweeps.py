@@ -99,6 +99,8 @@ def sweep_specs(draw):
                 SamplingPolicy(),
                 SamplingPolicy(kind="ci_width", target=0.05, min_trials=2, chunk=3),
                 SamplingPolicy(kind="budget", budget=30, min_trials=2),
+                SamplingPolicy(kind="cluster", target=0.05, min_trials=2),
+                SamplingPolicy(kind="transition", target=0.05, min_trials=2),
             ]
         )
     )
@@ -239,6 +241,14 @@ class TestExpansion:
         with pytest.raises(SpecError):
             _sweep(metrics=("nope",))
 
+    def test_bool_trials_and_seed_rejected(self):
+        """bool passes isinstance(..., int); trials=True used to slip
+        through as trials=1 (regression)."""
+        with pytest.raises(SpecError):
+            _sweep(trials=True)
+        with pytest.raises(SpecError):
+            _sweep(seed=False)
+
 
 # ------------------------------------------------------------------ #
 # Trial-seed derivation
@@ -345,6 +355,130 @@ class TestSamplingPolicy:
             SamplingPolicy(kind="budget")  # no budget
         with pytest.raises(SpecError):
             SamplingPolicy(target=-1.0)
+        with pytest.raises(SpecError):
+            SamplingPolicy(kind="cluster")  # no target
+        with pytest.raises(SpecError):
+            SamplingPolicy(kind="transition")  # no target
+        with pytest.raises(SpecError):
+            SamplingPolicy(chunk=True)  # bools are not trial counts
+        with pytest.raises(SpecError):
+            SamplingPolicy(kind="budget", budget=10.5)  # non-integral
+
+    # -- eq/hash contract (regression) --------------------------------- #
+
+    def test_hash_equal_across_numeric_spellings(self):
+        """int/float spellings of the same policy must be equal AND hash
+        equal — JSON clients send either, and scheduler dedup keys on the
+        content hash (pre-fix: eq held, hashes differed)."""
+        a = SamplingPolicy(kind="budget", budget=100, min_trials=2)
+        b = SamplingPolicy(kind="budget", budget=100.0, min_trials=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        c = SamplingPolicy(kind="ci_width", target=1, min_trials=2)
+        d = SamplingPolicy(kind="ci_width", target=1.0, min_trials=2)
+        assert c == d
+        assert hash(c) == hash(d)
+
+    def test_sweep_hash_stable_across_json_spellings(self):
+        """A sweep round-tripped through JSON with int-vs-float policy
+        fields keeps one content hash (what store reuse keys on)."""
+        sweep = _sweep(
+            policy=SamplingPolicy(kind="budget", budget=100, min_trials=2)
+        )
+        payload = json.loads(sweep.to_json())
+        payload["policy"]["budget"] = 100.0
+        restored = SweepSpec.from_json(json.dumps(payload))
+        assert restored == sweep
+        assert restored.hash() == sweep.hash()
+        assert hash(restored.policy) == hash(sweep.policy)
+
+    # -- NaN starvation (regression) ------------------------------------ #
+
+    def test_budget_excludes_starved_points(self):
+        """A point with min_trials spent and zero finite observations has
+        halfwidth inf forever; pre-fix it won every widest-point pick and
+        starved the rest of the grid."""
+        policy = SamplingPolicy(kind="budget", budget=20, min_trials=2, chunk=4)
+        # point 0: 2 trials, no finite observations -> starved
+        nxt = policy.allocate(
+            [math.inf, 0.5], [2, 2], 99, observations=[0, 2]
+        )
+        assert nxt == [(1, 4)]
+        # all points starved: stop instead of burning budget forever
+        assert (
+            policy.allocate(
+                [math.inf, math.inf], [2, 2], 99, observations=[0, 0]
+            )
+            == []
+        )
+        # without observation counts the legacy behaviour holds
+        assert policy.allocate([math.inf, 0.5], [2, 2], 99) == [(0, 4)]
+
+    # -- stateful kinds -------------------------------------------------- #
+
+    def test_stateful_kinds_reject_stateless_allocate(self):
+        for kind in ("cluster", "transition"):
+            policy = SamplingPolicy(kind=kind, target=0.05)
+            with pytest.raises(SpecError):
+                policy.allocate([math.inf], [0], 10)
+
+    def test_cluster_allocator_promotes_representatives(self):
+        from repro.api.sweeps import PointView
+
+        policy = SamplingPolicy(kind="cluster", target=0.05, min_trials=2, chunk=4)
+        alloc = policy.allocator(())
+        views = [PointView(math.inf, math.nan, 0)] * 4
+        assert alloc.next_requests(views, [0, 0, 0, 0], 20) == [
+            (0, 2), (1, 2), (2, 2), (3, 2),
+        ]
+        # two response plateaus (0.9-ish and 0.1-ish), everything noisy
+        views = [
+            PointView(0.2, 0.90, 2),
+            PointView(0.2, 0.95, 2),
+            PointView(0.2, 0.10, 2),
+            PointView(0.2, 0.12, 2),
+        ]
+        requests = alloc.next_requests(views, [2, 2, 2, 2], 20)
+        assert len(requests) == 2  # one representative per plateau
+        reps = {i for i, _ in requests}
+        assert len(reps & {0, 1}) == 1 and len(reps & {2, 3}) == 1
+        mapping = alloc.mapping()
+        assert mapping is not None
+        assert mapping[0] == mapping[1] and mapping[2] == mapping[3]
+        assert mapping[0] != mapping[2]
+        state = alloc.state()
+        assert state["kind"] == "cluster"
+        assert len(state["clusters"]) == 2
+
+    def test_transition_allocator_targets_steep_region(self):
+        from repro.api.sweeps import PointView
+
+        policy = SamplingPolicy(
+            kind="transition", target=0.05, min_trials=2, chunk=4
+        )
+        alloc = policy.allocator(())
+        # equal widths everywhere; the curve only moves between points 1-3,
+        # so the steep-point sample floor routes the chunk into the band
+        views = [
+            PointView(0.1, 1.00, 2),
+            PointView(0.1, 0.98, 2),
+            PointView(0.1, 0.50, 2),
+            PointView(0.1, 0.02, 2),
+            PointView(0.1, 0.00, 2),
+        ]
+        requests = alloc.next_requests(views, [2] * 5, 20)
+        assert len(requests) == 1
+        assert requests[0][0] in (1, 2, 3)
+        # once the band is sampled past the floor and tight relative to the
+        # per-grid-step curve movement, the sweep stops
+        views = [
+            PointView(0.01, 1.00, 8),
+            PointView(0.05, 0.98, 8),
+            PointView(0.05, 0.50, 8),
+            PointView(0.05, 0.02, 8),
+            PointView(0.01, 0.00, 8),
+        ]
+        assert alloc.next_requests(views, [8] * 5, 20) == []
 
 
 # ------------------------------------------------------------------ #
@@ -458,3 +592,93 @@ class TestRunSweep:
         payload = json.loads(json.dumps(result.to_dict()))
         assert payload["total_trials"] == 4
         assert payload["sweep"]["trials"] == 2
+
+    def test_budget_sweep_not_starved_by_all_nan_point(self):
+        """Regression: a point whose metric never yields a finite value
+        (expansion_retention under measure_expansion=False) used to absorb
+        every remaining budget chunk while finite points got nothing."""
+        sweep = _sweep(
+            axes=(Axis("analysis.measure_expansion", (False, True)),),
+            base=_base(
+                analysis=AnalysisSpec(
+                    mode="node", pruner=None, measure_expansion=True
+                )
+            ),
+            trials=99,
+            metrics=("expansion_retention",),
+            policy=SamplingPolicy(kind="budget", budget=16, min_trials=3),
+        )
+        result = run_sweep(sweep, Session())
+        nan_point, finite_point = result.points
+        assert nan_point.stats["expansion_retention"].n == 0  # truly all-NaN
+        assert nan_point.n_trials == 3  # bootstrap only, then starved out
+        assert finite_point.n_trials == 13  # the rest of the budget
+
+    @pytest.mark.parametrize("kind", ["cluster", "transition"])
+    def test_adaptive_kind_fingerprints_identical_across_workers(self, kind):
+        sweep = _sweep(
+            axes=(Axis("fault.params.p", (0.05, 0.3, 0.6)),),
+            trials=8,
+            policy=SamplingPolicy(kind=kind, target=0.04, min_trials=2, chunk=2),
+        )
+        serial = run_sweep(sweep, Session(workers=1))
+        pooled = run_sweep(
+            sweep, Session(executor=ProcessExecutor(2, min_parallel=2))
+        )
+        assert serial.fingerprint() == pooled.fingerprint()
+        assert [p.n_trials for p in serial.points] == [
+            p.n_trials for p in pooled.points
+        ]
+
+    @pytest.mark.parametrize("kind", ["cluster", "transition"])
+    def test_adaptive_kind_resume_identical_fingerprint(self, tmp_path, kind):
+        sweep = _sweep(
+            axes=(Axis("fault.params.p", (0.05, 0.3, 0.6)),),
+            trials=8,
+            policy=SamplingPolicy(kind=kind, target=0.04, min_trials=2, chunk=2),
+        )
+        fresh = run_sweep(sweep, Session())
+
+        class Stop(Exception):
+            pass
+
+        count = 0
+
+        def bomb(i, t, result):
+            nonlocal count
+            count += 1
+            if count == 4:
+                raise Stop
+
+        store = tmp_path / "store"
+        with pytest.raises(Stop):
+            run_sweep(sweep, Session(store), on_result=bomb)
+        resumed = run_sweep(sweep, Session(store))
+        assert resumed.fingerprint() == fresh.fingerprint()
+        assert [p.trial_fingerprints for p in resumed.points] == [
+            p.trial_fingerprints for p in fresh.points
+        ]
+
+    def test_cluster_sweep_maps_members_with_provenance(self):
+        # two identical-response points (same p) plus one far-away point:
+        # the duplicate pair collapses to one representative
+        sweep = _sweep(
+            axes=(Axis("fault.params.p", (0.1, 0.1, 0.8)),),
+            trials=12,
+            policy=SamplingPolicy(kind="cluster", target=0.1, min_trials=3),
+        )
+        result = run_sweep(sweep, Session())
+        pair = result.points[:2]
+        mapped = [p for p in pair if p.provenance == "cluster"]
+        direct = [p for p in pair if p.provenance == "direct"]
+        assert len(mapped) == 1 and len(direct) == 1
+        assert mapped[0].source == direct[0].index
+        # the member reports its representative's CI-backed stats
+        assert (
+            mapped[0].stats["gamma"].mean == direct[0].stats["gamma"].mean
+        )
+        assert result.points[2].provenance == "direct"
+        payload = result.points[0].to_dict()
+        assert {"provenance", "source"} <= set(payload)
+        rows = result.rows()
+        assert any("provenance" in row for row in rows)

@@ -192,6 +192,33 @@ class TestDeterminism:
         _drive(sched, session)
         assert entry.fingerprint == reference.fingerprint()
 
+    @pytest.mark.parametrize("kind", ["cluster", "transition"])
+    def test_adaptive_kinds_distributed_identical(self, make_sweep, tmp_path, kind):
+        """The stateful allocators make the same decisions whether the
+        driver runs inside run_sweep or behind the scheduler's job loop."""
+        import dataclasses
+
+        from repro.api.sweeps import SamplingPolicy
+
+        sweep = dataclasses.replace(
+            make_sweep(values=(0.05, 0.2, 0.5), trials=8),
+            policy=SamplingPolicy(kind=kind, target=0.04, min_trials=2, chunk=2),
+        )
+        reference = run_sweep(
+            sweep, Session(store=ResultStore(tmp_path / "ref"), workers=1)
+        )
+        sched = Scheduler(store=ResultStore(tmp_path / "svc"), job_chunk=1)
+        session = Session(store=ResultStore(tmp_path / "svc"), workers=1)
+        entry, _ = sched.submit(sweep)
+        _drive(sched, session)
+        assert entry.state == "done"
+        assert entry.fingerprint == reference.fingerprint()
+        assert entry.result.rows() == reference.rows()
+        status = sched.status(entry.id)
+        assert status["allocator"]["kind"] == kind
+        if kind == "cluster":
+            assert status["allocator"]["clusters"] is not None
+
     def test_fully_warm_sweep_completes_inside_submit(self, sweep, tmp_path):
         store_dir = tmp_path / "warm"
         reference = run_sweep(

@@ -11,6 +11,10 @@ from repro.errors import InvalidParameterError
 from repro.util.stats import (
     OnlineStats,
     P2Quantile,
+    fit_isotonic,
+    fit_logistic,
+    logistic_slope,
+    logistic_value,
     normal_interval,
     normal_ppf,
     wilson_interval,
@@ -181,3 +185,63 @@ class TestP2Quantile:
         for p in (0.0, 1.0):
             with pytest.raises(InvalidParameterError):
                 P2Quantile(p)
+
+
+class TestFitIsotonic:
+    def test_already_monotone_is_identity(self):
+        ys = [0.1, 0.4, 0.4, 0.9]
+        assert fit_isotonic(ys) == ys
+
+    def test_pools_violators(self):
+        assert fit_isotonic([1.0, 3.0, 2.0, 4.0]) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_decreasing_direction(self):
+        out = fit_isotonic([0.9, 0.95, 0.5, 0.1], increasing=False)
+        assert all(a >= b - 1e-12 for a, b in zip(out, out[1:]))
+
+    def test_weights_pull_the_pool(self):
+        # heavy first point dominates the pooled pair
+        out = fit_isotonic([2.0, 0.0], weights=[3.0, 1.0])
+        assert out[0] == out[1] == pytest.approx(1.5)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(InvalidParameterError):
+            fit_isotonic([1.0, 2.0], weights=[1.0])
+        with pytest.raises(InvalidParameterError):
+            fit_isotonic([1.0, 2.0], weights=[1.0, -1.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=20))
+    def test_output_is_monotone_and_mean_preserving(self, ys):
+        out = fit_isotonic(ys)
+        assert all(a <= b + 1e-9 for a, b in zip(out, out[1:]))
+        assert sum(out) == pytest.approx(sum(ys), abs=1e-6 * max(1, len(ys)))
+
+
+class TestFitLogistic:
+    def test_recovers_midpoint(self):
+        truth = (0.0, 1.0, 0.5, 12.0)
+        xs = [i / 10 for i in range(11)]
+        ys = [logistic_value(truth, x) for x in xs]
+        lo, hi, x0, k = fit_logistic(xs, ys)
+        assert x0 == pytest.approx(0.5, abs=0.05)
+        # asymptotes pin to the data extremes
+        assert lo == pytest.approx(min(ys), abs=1e-9)
+        assert hi == pytest.approx(max(ys), abs=1e-9)
+        assert k > 0
+
+    def test_deterministic(self):
+        xs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        ys = [0.95, 0.9, 0.5, 0.12, 0.05]
+        assert fit_logistic(xs, ys) == fit_logistic(xs, ys)
+
+    def test_slope_peaks_at_midpoint(self):
+        params = (0.0, 1.0, 0.4, 10.0)
+        slopes = [abs(logistic_slope(params, x)) for x in (0.0, 0.4, 1.0)]
+        assert slopes[1] > slopes[0] and slopes[1] > slopes[2]
+
+    def test_value_overflow_safe(self):
+        params = (0.0, 1.0, 0.0, 1e6)
+        assert logistic_value(params, 1e6) == pytest.approx(0.0, abs=1e-12)
+        assert logistic_value(params, -1e6) == pytest.approx(1.0, abs=1e-12)
+        assert logistic_slope(params, 1e6) == pytest.approx(0.0, abs=1e-12)
